@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one table/figure-level claim of the paper
+(see DESIGN.md's experiment index).  Conventions:
+
+* the full experiment runs *inside* the benchmarked callable, once
+  (``rounds=1``) — pytest-benchmark then reports the experiment's wall time
+  while the bench body prints the paper-style table and asserts the shape;
+* all benches are deterministic (fixed seeds via ``repro.sim.rng``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+def show(table: str) -> None:
+    """Print a bench's paper-style output (visible with ``-s``)."""
+    print("\n" + table)

@@ -1,0 +1,63 @@
+"""Ablation A1 — flow control: drop-tail vs end-to-end credits vs downstream
+credits (Telegraphos §4.2's credit-based flow control).
+
+Not a paper table, but a design choice DESIGN.md calls out: the Telegraphos
+switches are lossless (credit flow control) where most ATM-era shared-buffer
+switches dropped cells.  This bench quantifies what each mechanism does to
+loss and buffer occupancy at saturation with a small buffer.
+"""
+
+from conftest import show
+
+from repro.core import (
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    SaturatingSource,
+)
+from repro.switches.harness import format_table
+
+
+def _run(name, **cfg_kwargs):
+    cfg = PipelinedSwitchConfig(n=4, addresses=16, **cfg_kwargs)
+    src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=9)
+    sw = PipelinedSwitch(cfg, src)
+    sw.warmup = 2000
+    sw.run(60_000)
+    return [
+        name,
+        round(sw.link_utilization, 3),
+        round(sw.stats.loss_probability, 4),
+        sw.buffer.peak_occupancy,
+        round(sw.ct_latency.mean, 1),
+    ]
+
+
+def _experiment():
+    return [
+        _run("drop-tail"),
+        _run("end-to-end credits", credit_flow=True),
+        # 1 credit with RTT = B halves the per-output window (B/(B+rtt));
+        # 2 credits would exactly cover the round trip and not bind.
+        _run("downstream credits (1, rtt 8)", downstream_credits=1, downstream_rtt=8),
+        _run("both credit mechanisms", credit_flow=True,
+             downstream_credits=1, downstream_rtt=8),
+    ]
+
+
+def test_a01_flow_control(run_once):
+    rows = run_once(_experiment)
+    show(format_table(
+        ["flow control", "utilization", "loss", "peak buffer", "mean CT latency"],
+        rows,
+        title="A1 ablation: flow control at saturation (4x4, 16-packet buffer)",
+    ))
+    by_name = {r[0]: r for r in rows}
+    # drop-tail loses cells, end-to-end credit modes never do
+    assert by_name["drop-tail"][2] > 0
+    assert by_name["end-to-end credits"][2] == 0
+    assert by_name["both credit mechanisms"][2] == 0
+    # an under-provisioned downstream credit window caps throughput at
+    # roughly B/(B+rtt) = 0.5 per output
+    assert by_name["downstream credits (1, rtt 8)"][1] < 0.6
+    # buffer never exceeds its capacity anywhere
+    assert all(r[3] <= 16 for r in rows)

@@ -1,0 +1,58 @@
+"""E1 — FIFO input queueing saturation (paper §2.1, [KaHM87]).
+
+Regenerates the saturation-throughput-vs-switch-size series: simulated FIFO
+input-queued switch vs the HoL Monte-Carlo model vs the [KaHM87] table and
+the ``2 - sqrt(2)`` asymptote.  Paper quote: "saturates at about 60% of the
+link capacity".
+"""
+
+import math
+
+from conftest import show
+
+from repro.analysis.hol import (
+    KAROL_TABLE,
+    hol_saturation_asymptotic,
+    hol_saturation_montecarlo,
+)
+from repro.switches import FifoInputQueued
+from repro.switches.harness import (
+    format_table,
+    saturation_throughput,
+    uniform_source_factory,
+)
+
+
+def _experiment():
+    rows = []
+    for n in (2, 4, 8, 16, 32):
+        sim = saturation_throughput(
+            lambda: FifoInputQueued(n, n, seed=1),
+            uniform_source_factory(n, n),
+            slots=25_000,
+        )
+        mc = hol_saturation_montecarlo(n, slots=60_000, seed=2)
+        ref = KAROL_TABLE.get(n, hol_saturation_asymptotic())
+        rows.append([n, sim, mc, ref])
+    return rows
+
+
+def test_e01_hol_saturation(run_once):
+    rows = run_once(_experiment)
+    show(
+        format_table(
+            ["n", "switch sim", "HoL model", "KaHM87 ref"],
+            rows,
+            title="E1: FIFO input queueing saturation throughput",
+        )
+    )
+    for n, sim, mc, ref in rows:
+        assert sim == math.inf or abs(sim - ref) < 0.02, (n, sim, ref)
+        assert abs(mc - ref) < 0.02, (n, mc, ref)
+    # the paper's "about 60%" at realistic sizes:
+    big = [r for r in rows if r[0] >= 8]
+    assert all(0.55 < r[1] < 0.65 for r in big)
+    # monotone decline toward 2 - sqrt(2)
+    sims = [r[1] for r in rows]
+    assert sims == sorted(sims, reverse=True)
+    assert sims[-1] > hol_saturation_asymptotic() - 0.02

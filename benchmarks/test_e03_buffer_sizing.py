@@ -1,0 +1,54 @@
+"""E3 — Buffer size for loss 1e-3 at load 0.8 on 16x16 (paper §2.2, [HlKa88]).
+
+Paper quote: "(i) 86 packets under shared buffering (5.4 per output);
+(ii) 178 packets under output queueing (11.1 per output); and (iii) 1300
+packets under 'input smoothing' (80 per input)".
+
+We regenerate the three numbers from our exact models (the [HlKa88]
+decomposition for sharing, the exact finite-buffer Markov chain for output
+queueing, the frame-overflow model for input smoothing) and cross-check the
+shared figure by direct simulation.  Conventions differ slightly from the
+1988 paper (see EXPERIMENTS.md); the ordering and separation factors are the
+reproduced shape.
+"""
+
+from conftest import show
+
+from repro.analysis.buffer_sizing import hlka88_comparison
+from repro.switches import SharedBuffer
+from repro.switches.harness import format_table
+from repro.traffic import BernoulliUniform
+
+
+def _experiment():
+    n, p, target = 16, 0.8, 1e-3
+    r = hlka88_comparison(n, p, target)
+    # Validate the shared sizing by simulation at the sized capacity.
+    sw = SharedBuffer(n, n, capacity=r["shared_total"], warmup=5000, seed=11)
+    stats = sw.run(BernoulliUniform(n, n, p, seed=12), 150_000)
+    r["shared_sim_loss"] = stats.loss_probability
+    return r
+
+
+def test_e03_buffer_sizing(run_once):
+    r = run_once(_experiment)
+    rows = [
+        ["shared buffering", r["shared_total"], f"{r['shared_per_output']:.1f}/output", 86, "5.4/output"],
+        ["output queueing", r["output_total"], f"{r['output_per_output']}/output", 178, "11.1/output"],
+        ["input smoothing", r["smoothing_total"], f"{r['smoothing_per_input']}/input", 1300, "80/input"],
+    ]
+    show(
+        format_table(
+            ["architecture", "model total", "model per-port", "paper total", "paper per-port"],
+            rows,
+            title="E3: buffers for loss 1e-3, 16x16 switch, load 0.8 [HlKa88]",
+        )
+    )
+    # The ranking and separations the paper's argument rests on:
+    assert r["shared_total"] * 2 <= r["output_total"]
+    assert r["output_total"] * 4 <= r["smoothing_total"]
+    # Absolute agreement where conventions match:
+    assert 10 <= r["output_per_output"] <= 13  # paper: 11.1
+    assert 70 <= r["smoothing_per_input"] <= 95  # paper: 80
+    # The sized shared pool really achieves the target loss:
+    assert r["shared_sim_loss"] <= 2e-3

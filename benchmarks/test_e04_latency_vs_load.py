@@ -1,0 +1,53 @@
+"""E4 — Latency: scheduled input buffering vs output/shared queueing
+(paper §2.2, [AOST93 fig 3]).
+
+Paper quote: "the simulations in [AOST93, fig. 3] showed output queueing (or
+equivalently shared buffering) to be about twice faster than input buffering,
+under the particular scheduling algorithm that that paper uses, for link
+loads between 0.6 and 0.9."
+
+We regenerate the latency-vs-load series for a 16x16 switch: VOQ + PIM (the
+AN2 scheduler of [AOST93]) against output queueing and the shared buffer.
+"""
+
+from conftest import show
+
+from repro.switches import OutputQueued, PIM, SharedBuffer, VoqInputBuffered
+from repro.switches.harness import format_table, latency_vs_load, uniform_source_factory
+
+LOADS = [0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def _experiment():
+    n = 16
+    f = uniform_source_factory(n, n)
+    slots = 25_000
+    voq = latency_vs_load(
+        lambda: VoqInputBuffered(n, n, PIM(iterations=4, seed=1)), f, LOADS, slots=slots
+    )
+    oq = latency_vs_load(lambda: OutputQueued(n, n, seed=2), f, LOADS, slots=slots)
+    sh = latency_vs_load(lambda: SharedBuffer(n, n, seed=3), f, LOADS, slots=slots)
+    return voq, oq, sh
+
+
+def test_e04_latency_vs_load(run_once):
+    voq, oq, sh = run_once(_experiment)
+    rows = [
+        [load, d_voq, d_oq, d_sh, d_voq / d_oq if d_oq else float("nan")]
+        for (load, d_voq), (_, d_oq), (_, d_sh) in zip(voq, oq, sh)
+    ]
+    show(
+        format_table(
+            ["load", "VOQ+PIM delay", "output-queued", "shared", "ratio VOQ/OQ"],
+            rows,
+            title="E4: mean delay (slots) vs load, 16x16 [AOST93 fig 3]",
+        )
+    )
+    # Output queueing and shared buffering are equivalent here:
+    for (_, d_oq), (_, d_sh) in zip(oq, sh):
+        assert abs(d_oq - d_sh) < max(0.3, 0.15 * d_oq)
+    # The paper's "about twice faster" in the 0.6-0.9 band:
+    band = [r for r in rows if 0.6 <= r[0] <= 0.9]
+    ratios = [r[4] for r in band]
+    assert all(ratio > 1.4 for ratio in ratios)
+    assert any(ratio > 1.8 for ratio in ratios)

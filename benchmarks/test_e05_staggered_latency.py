@@ -1,0 +1,70 @@
+"""E5 — Staggered-initiation latency (paper §3.4).
+
+Paper claim: the one-wave-per-cycle restriction adds expected cut-through
+latency ``(p/4)(n-1)/n`` cycles — "for 40% load, this amounts to one tenth
+of a clock cycle, i.e. negligible".
+
+The word-level switch measures the extra delay of packets that found their
+output idle (the population the formula describes) and compares to the
+formula across loads and switch sizes.  An ablation row compares arbitration
+policies: write-priority makes departures wait and inflates latency, which
+is the paper's §3.3 rationale for read priority.
+"""
+
+from conftest import show
+
+from repro.analysis.staggered import expected_extra_latency
+from repro.core import (
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    Priority,
+    RenewalPacketSource,
+)
+from repro.switches.harness import format_table
+
+
+def _measure(n, p, priority=Priority.READS_FIRST, cycles=200_000, seed=7):
+    cfg = PipelinedSwitchConfig(n=n, addresses=128, priority=priority)
+    src = RenewalPacketSource(n_out=n, packet_words=cfg.packet_words, load=p, seed=seed)
+    sw = PipelinedSwitch(cfg, src)
+    sw.warmup = 2000
+    sw.run(cycles)
+    return sw
+
+
+def _experiment():
+    rows = []
+    for n, p in [(4, 0.2), (4, 0.4), (8, 0.2), (8, 0.4), (8, 0.6), (16, 0.4)]:
+        sw = _measure(n, p)
+        rows.append([n, p, sw.stagger_extra.mean, expected_extra_latency(p, n),
+                     sw.ct_latency.mean])
+    ablation = {}
+    for prio in (Priority.READS_FIRST, Priority.WRITES_FIRST):
+        sw = _measure(8, 0.7, priority=prio, cycles=120_000)
+        ablation[prio] = sw.ct_latency.mean
+    return rows, ablation
+
+
+def test_e05_staggered_latency(run_once):
+    rows, ablation = run_once(_experiment)
+    show(
+        format_table(
+            ["n", "load", "measured extra (cycles)", "formula (p/4)(n-1)/n", "mean CT latency"],
+            rows,
+            title="E5: staggered-initiation cut-through latency increase",
+        )
+    )
+    for n, p, measured, formula, _ in rows:
+        assert abs(measured - formula) <= max(0.35 * formula, 0.01), (n, p)
+    # the headline claim: ~0.1 cycles at 40% load
+    at_40 = [r for r in rows if r[1] == 0.4 and r[0] == 8][0]
+    assert at_40[2] < 0.15
+    # ablation: read priority is the right choice
+    assert ablation[Priority.READS_FIRST] <= ablation[Priority.WRITES_FIRST]
+    show(
+        format_table(
+            ["policy", "mean CT latency @ n=8, p=0.7"],
+            [[k.value, v] for k, v in ablation.items()],
+            title="E5 ablation: arbitration priority",
+        )
+    )

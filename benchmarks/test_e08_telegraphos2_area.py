@@ -1,0 +1,31 @@
+"""E8 — Telegraphos II die budget (paper §4.2, figure 6).
+
+Published: 8 megacells of 1.5x0.9 mm^2 (11 mm^2 SRAM), 15 mm^2 peripheral
+standard cells, 5.5 mm^2 bus routing, 32 mm^2 buffer total, on an
+8.5x8.5 mm die, at 40 ns / 400 Mb/s per link.  The calibrated area model
+must regenerate the full budget.
+"""
+
+from conftest import show
+
+from repro.switches.harness import format_table
+from repro.vlsi.telegraphos import telegraphos2_report
+
+
+def test_e08_telegraphos2_area(run_once):
+    report = run_once(telegraphos2_report)
+    pub, mod = report["published"], report["model"]
+    keys = [
+        "megacell_mm2", "sram_total_mm2", "peripheral_cells_mm2",
+        "bus_routing_mm2", "buffer_total_mm2", "clock_ns", "link_mbps",
+    ]
+    rows = [[k, pub[k], round(mod[k], 2)] for k in keys]
+    show(format_table(["figure", "paper", "model"], rows,
+                      title="E8: Telegraphos II shared-buffer die budget (§4.2)"))
+    assert mod["megacell_mm2"] == round(pub["megacell_mm2"], 2) or abs(
+        mod["megacell_mm2"] - pub["megacell_mm2"]
+    ) < 0.05
+    assert abs(mod["sram_total_mm2"] - pub["sram_total_mm2"]) < 0.6
+    assert abs(mod["buffer_total_mm2"] - pub["buffer_total_mm2"]) < 2.5
+    assert abs(mod["clock_ns"] - pub["clock_ns"]) < 0.5
+    assert abs(mod["link_mbps"] - pub["link_mbps"]) < 5.0

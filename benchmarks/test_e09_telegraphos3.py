@@ -1,0 +1,62 @@
+"""E9 — Telegraphos III full-custom buffer (paper §4.4, figure 8, abstract).
+
+Published: 8x8, 16 stages x 256 packets x 16 bits (64 Kbit), 16 ns worst /
+10 ns typical clock, 1 Gb/s per link worst case (1.6 typical), 16 Gb/s
+aggregate, ~9 mm^2 peripheral, ~45 mm^2 total including crossbar and
+cut-through; standard cells would take 41 mm^2 for the half-sized switch
+(the "factor of 22"), and an 8x8 standard-cell version ~18x the area.
+
+Ablation: the decoded-address pipeline (figure 7b) vs per-bank decoders
+(figure 7a).
+"""
+
+from conftest import show
+
+from repro.switches.harness import format_table
+from repro.vlsi import pipelined_memory_area
+from repro.vlsi.technology import TELEGRAPHOS_III_TECH
+from repro.vlsi.telegraphos import factor_of_22_report, telegraphos3_report
+
+
+def _experiment():
+    report = telegraphos3_report()
+    f22 = factor_of_22_report()
+    fig7a = pipelined_memory_area(
+        TELEGRAPHOS_III_TECH, 16, 256, 16, address_pipeline=False
+    )
+    fig7b = pipelined_memory_area(
+        TELEGRAPHOS_III_TECH, 16, 256, 16, address_pipeline=True
+    )
+    return report, f22, fig7a, fig7b
+
+
+def test_e09_telegraphos3(run_once):
+    report, f22, fig7a, fig7b = run_once(_experiment)
+    pub, mod = report["published"], report["model"]
+    rows = [[k, pub[k], round(mod[k], 3) if isinstance(mod[k], float) else mod[k]]
+            for k in pub]
+    show(format_table(["figure", "paper", "model"], rows,
+                      title="E9: Telegraphos III full-custom buffer (§4.4)"))
+    assert mod["buffer_kbit"] == 64.0
+    assert mod["clock_worst_ns"] == 16.0 and mod["clock_typical_ns"] == 10.0
+    assert mod["link_gbps_worst"] == 1.0
+    assert abs(mod["peripheral_mm2"] - 9.0) < 1.0
+    assert abs(mod["buffer_total_mm2"] - 45.0) < 3.0
+    assert abs(mod["stdcell_peripheral_4x4_mm2"] - 41.0) < 4.0
+
+    show(format_table(
+        ["gain", "paper", "model"],
+        [[k, f22["published"][k], round(f22["model"][k], 2)] for k in f22["published"]],
+        title="E9: the §4.4 'factor of 22' (std cell -> full custom)",
+    ))
+    assert abs(f22["model"]["product"] - 22.0) < 5.0
+
+    saving = fig7a.total_mm2 - fig7b.total_mm2
+    show(format_table(
+        ["variant", "memory mm^2"],
+        [["fig 7a (decoder per bank)", round(fig7a.total_mm2, 2)],
+         ["fig 7b (decoded-address pipeline)", round(fig7b.total_mm2, 2)],
+         ["saving", round(saving, 2)]],
+        title="E9 ablation: address pipeline vs per-bank decoders",
+    ))
+    assert saving > 0

@@ -1,0 +1,38 @@
+"""E10 — Shared vs input buffering silicon cost at equal performance
+(paper §5.1, figure 9).
+
+The paper's argument: both organizations have total storage width 2nw; at
+equal loss performance the shared buffer's height H_s is much smaller than
+the input buffers' H_i, while the crossbar/datapath blocks are comparable
+(one crossbar + scheduler vs two wire blocks).  Hence shared buffering wins
+on cost-performance.
+"""
+
+from conftest import show
+
+from repro.switches.harness import format_table
+from repro.vlsi.comparisons import shared_vs_input_buffering
+
+
+def test_e10_shared_vs_input_area(run_once):
+    r = run_once(shared_vs_input_buffering)
+    rows = [
+        ["buffer height (cells/port)", r.h_shared_cells, r.h_input_cells],
+        ["storage area (mm^2)", round(r.shared_storage_mm2, 2), round(r.input_storage_mm2, 2)],
+        ["datapath/crossbar area (mm^2)", round(r.shared_datapath_mm2, 2),
+         f"{r.input_datapath_mm2:.2f} (+ scheduler)"],
+    ]
+    show(format_table(
+        ["quantity", "shared buffering", "input buffering"],
+        rows,
+        title=f"E10: §5.1 cost at equal loss (16x16, load 0.8, 1e-3); H_i/H_s = {r.height_ratio:.1f}",
+    ))
+    # H_s << H_i — the paper's inequality, with a wide margin:
+    assert r.height_ratio > 5
+    assert r.shared_storage_mm2 < r.input_storage_mm2 / 5
+    # Datapath blocks comparable: shared needs 2 blocks vs 1 (+ scheduler):
+    assert r.shared_datapath_mm2 < 3 * r.input_datapath_mm2
+    # Net: total shared cost below total input-buffering cost
+    shared_total = r.shared_storage_mm2 + r.shared_datapath_mm2
+    input_total = r.input_storage_mm2 + r.input_datapath_mm2
+    assert shared_total < input_total

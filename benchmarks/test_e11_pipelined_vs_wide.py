@@ -1,0 +1,79 @@
+"""E11 — Pipelined vs wide-memory shared buffer (paper §3.2, §5.2, fig 3/4).
+
+Two halves:
+
+* **area** (§5.2): adjusted to Telegraphos III parameters, the wide-memory
+  peripheral is ~13 mm^2 vs ~9 mm^2 pipelined — "about 30% smaller";
+* **function/latency** (§3.2): on identical traffic the wide memory without
+  its extra cut-through crossbar pays a full packet time of extra latency;
+  with the crossbar it narrows the gap but still cannot cut through a packet
+  whose output frees mid-arrival (figure 3's limitation) — the pipelined
+  memory gets all of this for free.
+"""
+
+from conftest import show
+
+from repro.core import PipelinedSwitch, PipelinedSwitchConfig, RenewalPacketSource
+from repro.core.wide import WideMemorySwitch, WideSwitchConfig
+from repro.switches.harness import format_table
+from repro.vlsi.comparisons import pipelined_vs_wide
+
+
+def _experiment():
+    area = pipelined_vs_wide()
+    n, load, cycles = 4, 0.3, 120_000
+    b = 2 * n
+
+    def run_pipelined():
+        cfg = PipelinedSwitchConfig(n=n, addresses=128)
+        sw = PipelinedSwitch(
+            cfg, RenewalPacketSource(n_out=n, packet_words=b, load=load, seed=4)
+        )
+        sw.warmup = 2000
+        sw.run(cycles)
+        return sw.ct_latency.mean
+
+    def run_wide(ct):
+        cfg = WideSwitchConfig(n=n, addresses=128, cut_through=ct)
+        sw = WideMemorySwitch(
+            cfg, RenewalPacketSource(n_out=n, packet_words=b, load=load, seed=4)
+        )
+        sw.warmup = 2000
+        sw.run(cycles)
+        return sw.ct_latency.mean
+
+    latency = {
+        "pipelined": run_pipelined(),
+        "wide (no CT crossbar)": run_wide(False),
+        "wide (CT crossbar)": run_wide(True),
+    }
+    return area, latency, b
+
+
+def test_e11_pipelined_vs_wide(run_once):
+    area, latency, b = run_once(_experiment)
+    show(format_table(
+        ["quantity", "pipelined", "wide"],
+        [
+            ["peripheral area (mm^2)", round(area["pipelined_peripheral_mm2"], 1),
+             round(area["wide_peripheral_mm2"], 1)],
+            ["buffer total (mm^2)", round(area["pipelined_total_mm2"], 1),
+             round(area["wide_total_mm2"], 1)],
+        ],
+        title="E11a: §5.2 area at Telegraphos III parameters (paper: 9 vs 13 mm^2)",
+    ))
+    assert abs(area["pipelined_peripheral_mm2"] - 9.0) < 1.0
+    assert abs(area["wide_peripheral_mm2"] - 13.0) < 1.5
+    assert abs(area["peripheral_saving"] - 0.30) < 0.06
+
+    show(format_table(
+        ["organization", "mean cut-through latency (cycles)"],
+        [[k, round(v, 2)] for k, v in latency.items()],
+        title=f"E11b: latency on identical traffic (4x4, packet = {b} words, load 0.3)",
+    ))
+    # no crossbar: ~ a packet time worse
+    gap = latency["wide (no CT crossbar)"] - latency["pipelined"]
+    assert b * 0.7 < gap < b * 1.5
+    # with the crossbar: close to pipelined but still >= (fig 3 limitation)
+    assert latency["pipelined"] <= latency["wide (CT crossbar)"]
+    assert latency["wide (CT crossbar)"] < latency["wide (no CT crossbar)"]

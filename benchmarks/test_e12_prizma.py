@@ -1,0 +1,59 @@
+"""E12 — Pipelined vs PRIZMA-style interleaved shared buffer (paper §5.3).
+
+Paper quotes: "the shared-buffer crossbars would cost 16 times more in the
+PRIZMA architecture relative to the Telegraphos III architecture" (n x M vs
+n x 2n, M = 256, 2n = 16); "one (dynamic) shift-register bit is 4 times
+larger than one (3-transistor dynamic) RAM bit"; "placing more than one
+packets per bank ... would complicate control and scheduling and may hurt
+performance" — the last point checked behaviourally.
+"""
+
+from conftest import show
+
+from repro.switches import InterleavedSharedBuffer
+from repro.switches.harness import format_table
+from repro.traffic import BernoulliUniform
+from repro.vlsi.comparisons import pipelined_vs_prizma
+
+
+def _experiment():
+    cost = pipelined_vs_prizma()
+    # Behavioural half: one-packet-per-bank vs multi-packet banks.
+    n = 8
+    perf = {}
+    for cells_per_bank, m_banks in [(1, 64), (8, 8)]:
+        sw = InterleavedSharedBuffer(
+            n, n, m_banks=m_banks, cells_per_bank=cells_per_bank,
+            warmup=2000, seed=13,
+        )
+        stats = sw.run(BernoulliUniform(n, n, 1.0, seed=14), 25_000)
+        perf[(cells_per_bank, m_banks)] = (stats.throughput, sw.read_conflicts)
+    return cost, perf
+
+
+def test_e12_prizma(run_once):
+    cost, perf = run_once(_experiment)
+    show(format_table(
+        ["quantity", "PRIZMA (n x M)", "pipelined (n x 2n)"],
+        [
+            ["crosspoints", cost["prizma_crosspoints"], cost["pipelined_crosspoints"]],
+            ["crossbar area (mm^2)", round(cost["prizma_crossbar_mm2"], 1),
+             round(cost["pipelined_crossbar_mm2"], 2)],
+        ],
+        title=f"E12: §5.3 crossbar cost, ratio = {cost['crosspoint_ratio']:.0f}x (paper: 16x)",
+    ))
+    assert cost["crosspoint_ratio"] == 16.0
+    assert cost["shift_register_penalty"] == 4.0
+
+    rows = [
+        [f"{c} cell(s)/bank, {m} banks", thr, conflicts]
+        for (c, m), (thr, conflicts) in perf.items()
+    ]
+    show(format_table(
+        ["bank organization (same capacity)", "saturation throughput", "read conflicts"],
+        rows,
+        title="E12 ablation: multi-packet banks hurt performance (paper §5.3)",
+    ))
+    (thr_1, conf_1), (thr_m, conf_m) = perf[(1, 64)], perf[(8, 8)]
+    assert conf_1 == 0 and conf_m > 0
+    assert thr_m < thr_1

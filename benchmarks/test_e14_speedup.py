@@ -1,0 +1,44 @@
+"""E14 — Input queueing with internal fabric speedup (paper §2.1, [PaBr93]).
+
+"Another method to improve the performance of input queueing is to provide
+an internal switching fabric of higher throughput than that of the incoming
+links; figure 1 shows an example with a double internal switch."  The sweep:
+saturation throughput vs speedup factor — speedup 1 reproduces the HoL limit,
+speedup 2 is already near 100 %.
+"""
+
+from conftest import show
+
+from repro.analysis.hol import KAROL_TABLE
+from repro.switches import SpeedupSwitch
+from repro.switches.harness import (
+    format_table,
+    saturation_throughput,
+    uniform_source_factory,
+)
+
+
+def _experiment():
+    n = 8
+    f = uniform_source_factory(n, n)
+    rows = []
+    for s in (1, 2, 3, 4):
+        sat = saturation_throughput(
+            lambda: SpeedupSwitch(n, n, speedup=s, seed=1), f, slots=20_000
+        )
+        rows.append([s, sat])
+    return rows
+
+
+def test_e14_speedup(run_once):
+    rows = run_once(_experiment)
+    show(format_table(
+        ["fabric speedup", "saturation throughput"],
+        rows,
+        title="E14: input queueing + internal speedup, 8x8 [PaBr93]",
+    ))
+    by_s = {r[0]: r[1] for r in rows}
+    assert abs(by_s[1] - KAROL_TABLE[8]) < 0.02  # speedup 1 == plain HoL
+    assert by_s[2] > 0.95  # the paper's "double internal switch" point
+    sats = [r[1] for r in rows]
+    assert all(b >= a - 0.01 for a, b in zip(sats, sats[1:]))  # monotone

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Architecture shootout: every §2 buffer organization on identical traffic.
+
+Sweeps offered load and prints throughput and mean-delay curves for FIFO
+input queueing, VOQ with three schedulers, crosspoint, block-crosspoint,
+speedup-2, output queueing and shared buffering — the full cast of paper
+figures 1 and 2 — then prints the saturation ranking.
+
+Run:  python examples/architecture_shootout.py  [n]
+"""
+
+import sys
+
+from repro.switches import (
+    BlockCrosspoint,
+    CrosspointQueued,
+    FifoInputQueued,
+    Islip,
+    OutputQueued,
+    PIM,
+    SharedBuffer,
+    SpeedupSwitch,
+    TwoDimRoundRobin,
+    VoqInputBuffered,
+)
+from repro.switches.harness import (
+    format_table,
+    saturation_throughput,
+    uniform_source_factory,
+)
+
+LOADS = [0.4, 0.6, 0.8, 0.9, 0.95]
+SLOTS = 20_000
+
+
+def architectures(n):
+    return {
+        "FIFO input queue": lambda: FifoInputQueued(n, n, seed=1),
+        "VOQ + PIM": lambda: VoqInputBuffered(n, n, PIM(iterations=4, seed=2)),
+        "VOQ + iSLIP": lambda: VoqInputBuffered(n, n, Islip(iterations=4)),
+        "VOQ + 2DRR": lambda: VoqInputBuffered(n, n, TwoDimRoundRobin()),
+        "crosspoint": lambda: CrosspointQueued(n, n, seed=3),
+        "block-crosspoint": lambda: BlockCrosspoint(n, n, block=max(n // 2, 1), seed=4),
+        "speedup-2": lambda: SpeedupSwitch(n, n, speedup=2, seed=5),
+        "output queueing": lambda: OutputQueued(n, n, seed=6),
+        "shared buffer": lambda: SharedBuffer(n, n, seed=7),
+    }
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    f = uniform_source_factory(n, n)
+    archs = architectures(n)
+
+    sat_rows = []
+    for name, factory in archs.items():
+        sat_rows.append([name, saturation_throughput(factory, f, slots=SLOTS)])
+    sat_rows.sort(key=lambda r: -r[1])
+    print(format_table(
+        ["architecture", "saturation throughput"], sat_rows,
+        title=f"Saturation ranking, {n}x{n}, uniform Bernoulli traffic",
+    ))
+
+    delay_rows = []
+    for name, factory in archs.items():
+        row = [name]
+        for load in LOADS:
+            sw = factory()
+            sw.stats.warmup = SLOTS // 5
+            stats = sw.run(f(load, 11), SLOTS)
+            d = stats.mean_delay
+            row.append("sat" if d != d or d > 200 else f"{d:.2f}")
+        delay_rows.append(row)
+    print()
+    print(format_table(
+        ["architecture"] + [f"load {p}" for p in LOADS], delay_rows,
+        title="Mean in-switch delay (slots); 'sat' = beyond saturation",
+    ))
+    print("\nReading: shared buffering == output queueing at the top; FIFO input")
+    print("queueing saturates near 0.6 (HoL blocking); scheduled VOQ recovers")
+    print("throughput but not the latency gap — the paper's §2 in one table.")
+
+
+if __name__ == "__main__":
+    main()

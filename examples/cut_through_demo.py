@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Cut-through demo: a cycle-by-cycle trace of the wave machinery.
+
+Prints the :class:`~repro.core.WaveTracer` timeline of the paper's figures 4
+and 5 in action on a 2x2 switch (4 banks, 4-word packets): two packets
+arrive, one cuts through with a combined WRITE_CT wave, one is buffered and
+departs with a separate READ wave; the control pipeline, bank accesses and
+link activity are shown per clock cycle.
+
+Run:  python examples/cut_through_demo.py
+"""
+
+from repro.core import (
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    TracePacketSource,
+    WaveTracer,
+)
+
+
+def main() -> None:
+    cfg = PipelinedSwitchConfig(n=2, addresses=8)
+    b = cfg.packet_words  # 4 words per packet
+    # Input 0 sends to output 1 at cycle 0 (will cut through);
+    # input 1 sends to output 1 at cycle 1 (output busy -> buffered).
+    src = TracePacketSource(
+        n_out=2, packet_words=b, schedule={0: [(0, 1)], 1: [(1, 1)]}
+    )
+    sw = PipelinedSwitch(cfg, src)
+
+    print(f"2x2 pipelined-memory switch: {b} banks, {b}-word packets")
+    print("packet A: input 0 -> output 1, head at cycle 0")
+    print("packet B: input 1 -> output 1, head at cycle 1 (must queue)\n")
+
+    tracer = WaveTracer(sw)
+    tracer.run(4 * b)
+    print(tracer.render())
+
+    assert tracer.verify_control_delay_property()
+    print("\nfigure-5 property verified: stage k control == stage 0 control "
+          "delayed k cycles")
+
+    sw.drain()
+    print("\ndeliveries:")
+    for j, sink in enumerate(sw.sinks):
+        for uid, head, payload in sink.delivered:
+            print(f"  output {j}: packet {uid}, head-out cycle {head}, "
+                  f"{len(payload)} words verified")
+    print(f"\npacket A cut-through latency: "
+          f"{sw.sinks[1].delivered[0][1] - 0} cycles (minimum is 2)")
+    print(f"packet B waited for output 1: head-out at cycle "
+          f"{sw.sinks[1].delivered[1][1]} (one packet time behind A)")
+    print(f"\nwaves used: {sw.cut_through_waves} WRITE_CT, "
+          f"{sw.write_waves} WRITE, {sw.plain_read_waves} READ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Multistage fabric demo: single-chip switches as building blocks.
+
+The paper's introduction positions the switch chip as a building block "for
+larger, multi-stage switches and networks".  This demo assembles a 64-port
+omega fabric from two ranks of 8x8 elements and shows how the element's
+buffer architecture — the paper's whole subject — determines fabric-level
+performance: FIFO input-queued elements tree-saturate, shared-buffer
+elements keep the fabric near line rate.
+
+Run:  python examples/fabric_demo.py
+"""
+
+from repro.fabric import OmegaFabric
+from repro.switches import FifoInputQueued, Islip, OutputQueued, SharedBuffer, VoqInputBuffered
+from repro.switches.harness import format_table
+from repro.traffic import BernoulliUniform
+
+K, STAGES = 8, 2
+N = K**STAGES
+SLOTS = 6000
+
+
+def main() -> None:
+    print(f"omega fabric: {N} ports = {STAGES} ranks of {N // K} {K}x{K} elements\n")
+    elements = {
+        "FIFO input-queued": lambda: FifoInputQueued(K, K, seed=1),
+        "VOQ + iSLIP": lambda: VoqInputBuffered(K, K, Islip(iterations=4)),
+        "output-queued": lambda: OutputQueued(K, K, seed=2),
+        "shared-buffer (pipelined memory)": lambda: SharedBuffer(K, K, seed=3),
+    }
+    rows = []
+    for name, factory in elements.items():
+        fab = OmegaFabric(K, STAGES, factory)
+        fab.warmup = SLOTS // 5
+        fab.run(BernoulliUniform(N, N, 1.0, seed=4), SLOTS)
+        s = fab.summary()
+        rows.append([name, round(s["throughput"], 3), round(s["mean_delay"], 1),
+                     int(s["misrouted"])])
+    print(format_table(
+        ["element architecture", "fabric saturation", "mean delay (slots)", "misrouted"],
+        rows,
+        title="Element architecture vs fabric performance (offered load 1.0)",
+    ))
+    print("\nThe single-switch ranking (paper §2) amplifies at fabric scale:")
+    print("a blocked FIFO element back-pressures entire subtrees, while the")
+    print("shared buffer absorbs transient contention inside each element.")
+
+
+if __name__ == "__main__":
+    main()

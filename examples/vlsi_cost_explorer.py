@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""VLSI cost explorer: sweep switch size / technology and price the designs.
+
+Uses the calibrated silicon models to answer the §5 design questions for
+arbitrary configurations: how big is a pipelined shared buffer, what would
+wide memory or PRIZMA interleaving cost instead, and where is the
+standard-cell/full-custom break-even.
+
+Run:  python examples/vlsi_cost_explorer.py
+"""
+
+from repro.switches.harness import format_table
+from repro.vlsi import (
+    Style,
+    TELEGRAPHOS_III_TECH,
+    pipelined_memory_area,
+    pipelined_peripheral_area,
+    prizma_crossbars,
+    pipelined_crossbars,
+    scaled,
+    wide_peripheral_area,
+)
+from repro.vlsi.timing import (
+    aggregate_buffer_throughput_gbps,
+    clock_cycle_ns,
+    link_throughput_gbps,
+)
+
+
+def size_sweep() -> None:
+    tech = TELEGRAPHOS_III_TECH
+    rows = []
+    for n in (2, 4, 8, 16):
+        depth, w, packets = 2 * n, 16, 256
+        mem = pipelined_memory_area(tech, depth, packets, w)
+        dp = pipelined_peripheral_area(tech, n, w, depth)
+        rows.append([
+            f"{n}x{n}",
+            depth * packets * w // 1024,
+            round(mem.total_mm2, 1),
+            round(dp.area_mm2, 1),
+            round(mem.total_mm2 + dp.area_mm2, 1),
+            round(link_throughput_gbps(tech, w), 2),
+            round(aggregate_buffer_throughput_gbps(tech, depth, w), 1),
+        ])
+    print(format_table(
+        ["switch", "buffer Kbit", "memory mm^2", "peripheral mm^2",
+         "total mm^2", "Gb/s per link", "aggregate Gb/s"],
+        rows,
+        title="Pipelined shared buffer vs switch size (1.0 um full custom, "
+              "256-packet buffer)",
+    ))
+    print("note: peripheral area grows with the square of the links (§4.4);")
+    print("beyond this point the paper recommends block-crosspoint buffering.\n")
+
+
+def technology_sweep() -> None:
+    rows = []
+    for feature in (1.0, 0.7, 0.5, 0.35):
+        for style in (Style.FULL_CUSTOM, Style.STANDARD_CELL):
+            tech = scaled(TELEGRAPHOS_III_TECH, feature, style=style)
+            dp = pipelined_peripheral_area(tech, 8, 16, 16)
+            rows.append([
+                f"{feature} um", style.value,
+                round(dp.area_mm2, 1),
+                round(clock_cycle_ns(tech), 1),
+                round(link_throughput_gbps(tech, 16), 2),
+            ])
+    print(format_table(
+        ["feature", "style", "peripheral mm^2", "clock ns", "Gb/s per link"],
+        rows,
+        title="8x8 switch peripheral across technologies",
+    ))
+    print()
+
+
+def organization_comparison() -> None:
+    tech = TELEGRAPHOS_III_TECH
+    n, w, depth, packets = 8, 16, 16, 256
+    pipe_dp = pipelined_peripheral_area(tech, n, w, depth)
+    wide_dp = wide_peripheral_area(tech, n, w, depth)
+    prizma = prizma_crossbars(tech, n, packets, w)
+    pipe_xb = pipelined_crossbars(tech, n, w)
+    rows = [
+        ["pipelined memory", round(pipe_dp.area_mm2, 1), "none needed", "automatic"],
+        ["wide memory", round(wide_dp.area_mm2, 1), "extra crossbar + buses",
+         "needs dedicated paths"],
+        ["PRIZMA interleaved",
+         f"{prizma['total_area_mm2']:.0f} (crossbars alone; "
+         f"{prizma['total_crosspoints'] // pipe_xb['total_crosspoints']}x pipelined)",
+         "n x M router + selector", "per-bank"],
+    ]
+    print(format_table(
+        ["organization", "peripheral/crossbar mm^2", "extra switching", "cut-through"],
+        rows,
+        title="Shared-buffer organizations at Telegraphos III parameters (§5)",
+    ))
+
+
+if __name__ == "__main__":
+    size_sweep()
+    technology_sweep()
+    organization_comparison()

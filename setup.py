@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` (PEP 660) needs `wheel`; this offline environment lacks
+it, so `python setup.py develop` / legacy editable installs use this shim.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

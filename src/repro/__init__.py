@@ -1,0 +1,29 @@
+"""repro — reproduction of "Pipelined Memory Shared Buffer for VLSI Switches"
+(Katevenis, Vatsolaki, Efthymiou; ACM SIGCOMM 1995).
+
+Subpackages
+-----------
+``repro.core``
+    Word/cycle-accurate pipelined-memory switch (the paper's contribution),
+    the wide-memory baseline, and the half-quantum split buffer.
+``repro.switches``
+    Slot-level models of every buffer architecture in the paper's section 2.
+``repro.network``
+    Flit-level wormhole k-ary n-cube (the [Dally90] comparison substrate).
+``repro.analysis``
+    Queueing/loss/latency analytics the paper cites, used as test oracles.
+``repro.vlsi``
+    Silicon area/timing models calibrated to the Telegraphos prototypes.
+``repro.traffic``
+    Synthetic traffic generators shared by all simulators.
+``repro.sim``
+    Cycle kernel, packet objects, statistics, deterministic RNG.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record; ``benchmarks/`` regenerates every quantitative
+claim of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

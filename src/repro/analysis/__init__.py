@@ -1,0 +1,105 @@
+"""Analytical models reproducing the queueing results the paper builds on."""
+
+from repro.analysis.buffer_sizing import (
+    hlka88_comparison,
+    input_smoothing_capacity_for_loss,
+    input_smoothing_loss,
+    output_queue_capacity_for_loss,
+    output_queue_loss,
+    shared_buffer_capacity_for_loss,
+    shared_buffer_overflow,
+)
+from repro.analysis.bursty_queue import (
+    burstiness_penalty,
+    bursty_loss,
+    bursty_queue_solution,
+)
+from repro.analysis.delay_distribution import (
+    batch_position_pmf,
+    delay_pmf,
+    delay_quantile,
+    mean_delay,
+)
+from repro.analysis.hol import (
+    KAROL_TABLE,
+    hol_saturation,
+    hol_saturation_asymptotic,
+    hol_saturation_montecarlo,
+)
+from repro.analysis.knockout import (
+    effective_load,
+    knockout_loss,
+    knockout_loss_poisson,
+    paths_for_loss,
+)
+from repro.analysis.littles_law import (
+    LittlesLawReport,
+    conservation_check,
+    littles_law_check,
+)
+from repro.analysis.queueing import (
+    batch_pmf,
+    convolve_queues,
+    md1_wait,
+    mean_queue_length,
+    output_queue_wait,
+    stationary_queue_distribution,
+    tail_probability,
+)
+from repro.analysis.quantum import (
+    QuantumPoint,
+    aggregate_throughput_gbps,
+    quantum_table,
+    required_width_bits,
+    telegraphos3_throughput_check,
+)
+from repro.analysis.staggered import (
+    derivation_table,
+    expected_competing_heads,
+    expected_extra_latency,
+    head_probability,
+)
+
+__all__ = [
+    "burstiness_penalty",
+    "bursty_loss",
+    "bursty_queue_solution",
+    "batch_position_pmf",
+    "delay_pmf",
+    "delay_quantile",
+    "mean_delay",
+    "hlka88_comparison",
+    "input_smoothing_capacity_for_loss",
+    "input_smoothing_loss",
+    "output_queue_capacity_for_loss",
+    "output_queue_loss",
+    "shared_buffer_capacity_for_loss",
+    "shared_buffer_overflow",
+    "KAROL_TABLE",
+    "hol_saturation",
+    "hol_saturation_asymptotic",
+    "hol_saturation_montecarlo",
+    "effective_load",
+    "knockout_loss",
+    "knockout_loss_poisson",
+    "paths_for_loss",
+    "LittlesLawReport",
+    "conservation_check",
+    "littles_law_check",
+    "batch_pmf",
+    "convolve_queues",
+    "md1_wait",
+    "mean_queue_length",
+    "output_queue_wait",
+    "stationary_queue_distribution",
+    "tail_probability",
+    "QuantumPoint",
+    "aggregate_throughput_gbps",
+    "quantum_table",
+    "required_width_bits",
+    "telegraphos3_throughput_check",
+    "derivation_table",
+    "expected_competing_heads",
+    "expected_extra_latency",
+    "head_probability",
+]

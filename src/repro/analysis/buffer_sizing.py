@@ -1,0 +1,160 @@
+"""Buffer sizing for a target loss probability — [HlKa88] (paper §2.2).
+
+The paper's headline comparison: "a 16x16 switch with incoming link load of
+0.8 (uniformly distributed destinations), needs the following buffer sizes in
+order to achieve packet loss probability of 0.001: (i) 86 packets under
+shared buffering (5.4 per output); (ii) 178 packets under output queueing
+(11.1 per output); and (iii) 1300 packets under input smoothing (80 per
+input)."  Bench E3 regenerates all three numbers from the models here.
+
+Models (following [HlKa88]):
+
+* **output queueing** — exact finite-buffer Markov chain per output queue
+  (arrivals first, then service; arrivals beyond the free space are lost);
+* **shared buffering** — the n queues share one pool; loss is approximated
+  by the tail of the total occupancy of n *independent* infinite-buffer
+  queues beyond the pool size (the standard [HlKa88] decomposition — slightly
+  conservative because sharing actually truncates the tails);
+* **input smoothing** — arrivals are collected into frames of ``b`` slots
+  and presented at once to an (nb x nb) switch; a frame can deliver at most
+  ``b`` cells to each output, so cells beyond ``b`` per output per frame are
+  lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sstats
+
+from repro.analysis.queueing import (
+    batch_pmf,
+    convolve_queues,
+    stationary_queue_distribution,
+    tail_probability,
+)
+
+
+def output_queue_loss(n: int, p: float, capacity: int, tol: float = 1e-14) -> float:
+    """Exact loss probability of one finite output queue of ``capacity`` cells.
+
+    Chain: ``Q' = max(min(Q + A, capacity) - 1, 0)`` with the
+    ``A - (capacity - Q)`` overflow cells lost.  Loss probability is the
+    long-run fraction of arriving cells lost.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    a = batch_pmf(n, p)
+    states = capacity + 1
+    # Transition matrix built from the batch distribution.
+    t = np.zeros((states, states))
+    for q in range(states):
+        for k, pk in enumerate(a):
+            if pk == 0.0:
+                continue
+            q_in = min(q + k, capacity)
+            q_next = max(q_in - 1, 0)
+            t[q, q_next] += pk
+    # Stationary distribution by power iteration.
+    pi = np.full(states, 1.0 / states)
+    for _ in range(100_000):
+        nxt = pi @ t
+        if np.abs(nxt - pi).max() < tol:
+            pi = nxt
+            break
+        pi = nxt
+    pi /= pi.sum()
+    # Expected lost cells per slot.
+    lost = 0.0
+    for q in range(states):
+        if pi[q] == 0.0:
+            continue
+        for k, pk in enumerate(a):
+            overflow = max(q + k - capacity, 0)
+            lost += pi[q] * pk * overflow
+    offered = p  # cells per output per slot
+    return lost / offered if offered > 0 else 0.0
+
+
+def output_queue_capacity_for_loss(
+    n: int, p: float, target: float, max_capacity: int = 1000
+) -> int:
+    """Smallest per-output capacity with loss <= target (e.g. 11-12 cells
+    per output for n=16, p=0.8, target 1e-3 — [HlKa88] quotes 11.1)."""
+    for cap in range(1, max_capacity + 1):
+        if output_queue_loss(n, p, cap) <= target:
+            return cap
+    raise ValueError(f"no capacity <= {max_capacity} reaches loss {target}")
+
+
+def shared_buffer_overflow(n: int, p: float, capacity: int, truncate: int = 1024) -> float:
+    """[HlKa88] shared-buffer loss approximation: tail of the summed queues.
+
+    P(total occupancy of n independent queues > capacity); the actual shared
+    switch drops a cell only when the pool is full at its arrival, so this
+    tail slightly overestimates loss — acceptable (and conservative) for
+    sizing.
+    """
+    q = stationary_queue_distribution(n, p, truncate=truncate)
+    total = convolve_queues(q, n)
+    return tail_probability(total, capacity)
+
+
+def shared_buffer_capacity_for_loss(
+    n: int, p: float, target: float, max_capacity: int = 4000, truncate: int = 1024
+) -> int:
+    """Smallest shared pool size with overflow probability <= target
+    (86 cells total, 5.4 per output, for n=16, p=0.8, target 1e-3)."""
+    q = stationary_queue_distribution(n, p, truncate=truncate)
+    total = convolve_queues(q, n)
+    cdf = np.cumsum(total)
+    for cap in range(1, min(max_capacity, len(cdf) - 1) + 1):
+        if 1.0 - cdf[cap] <= target:
+            return cap
+    raise ValueError(f"no capacity <= {max_capacity} reaches loss {target}")
+
+
+def input_smoothing_loss(n: int, p: float, b: int) -> float:
+    """Input smoothing loss for frame size ``b`` (buffer b cells per input).
+
+    Cells destined to one output in a frame: ``X ~ Bin(n*b, p/n)``; at most
+    ``b`` can be delivered, the rest are lost:
+    ``loss = E[(X - b)+] / E[X]``.
+    """
+    if b < 1:
+        raise ValueError(f"frame size must be >= 1, got {b}")
+    mean = b * p
+    kmax = n * b
+    ks = np.arange(b + 1, kmax + 1)
+    pmf = sstats.binom.pmf(ks, kmax, p / n)
+    excess = float(((ks - b) * pmf).sum())
+    return excess / mean if mean > 0 else 0.0
+
+
+def input_smoothing_capacity_for_loss(
+    n: int, p: float, target: float, max_b: int = 400
+) -> int:
+    """Smallest per-input frame/buffer size with loss <= target
+    (~80 per input, 1280-1300 total, for n=16, p=0.8, target 1e-3)."""
+    for b in range(1, max_b + 1):
+        if input_smoothing_loss(n, p, b) <= target:
+            return b
+    raise ValueError(f"no frame size <= {max_b} reaches loss {target}")
+
+
+def hlka88_comparison(n: int = 16, p: float = 0.8, target: float = 1e-3) -> dict:
+    """The full [HlKa88] table the paper quotes, regenerated.
+
+    Returns total and per-port buffer requirements for the three
+    architectures at the given operating point.
+    """
+    shared_total = shared_buffer_capacity_for_loss(n, p, target)
+    output_per = output_queue_capacity_for_loss(n, p, target)
+    smoothing_per = input_smoothing_capacity_for_loss(n, p, target)
+    return {
+        "shared_total": shared_total,
+        "shared_per_output": shared_total / n,
+        "output_per_output": output_per,
+        "output_total": output_per * n,
+        "smoothing_per_input": smoothing_per,
+        "smoothing_total": smoothing_per * n,
+    }

@@ -1,0 +1,124 @@
+"""Queueing under bursty (on/off) traffic — the §2.1 burst remark, analytically.
+
+The paper warns that input queueing degrades "when the traffic is bursty and
+the bursts are larger than the buffers"; ablation A2 shows bursts also erode
+the shared-memory advantage.  This module provides the exact finite-buffer
+analysis of one output queue fed by ``n`` on/off sources (the
+:class:`~repro.traffic.bursty.BurstyOnOff` model):
+
+* each source is *off*, or *on toward this output*, delivering one cell per
+  slot while on; bursts end per slot with probability ``1/mean_burst``;
+* a source starts a burst toward this output with per-slot probability
+  chosen so the stationary per-source load toward it is ``load / n``;
+* the joint Markov chain over (active bursts ``m``, queue length ``q``) is
+  solved by power iteration; loss is the expected overflow fraction.
+
+Cross-checked against the :class:`~repro.switches.output_queued.OutputQueued`
+simulator driven by :class:`~repro.traffic.bursty.BurstyOnOff` in
+``tests/analysis/test_bursty_queue.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as sstats
+
+
+def _burst_state_transitions(n: int, load: float, mean_burst: float) -> np.ndarray:
+    """T[m, m']: transition matrix of the number of active bursts.
+
+    Survivors ~ Bin(m, 1 - p_end); fresh starts ~ Bin(n - m, r) with ``r``
+    set so a source targets this output a fraction ``load/n`` of the time.
+    """
+    if not 0.0 < load < 1.0:
+        raise ValueError(f"load must be in (0, 1), got {load}")
+    if mean_burst < 1.0:
+        raise ValueError(f"mean burst must be >= 1 cell, got {mean_burst}")
+    if n < 1:
+        raise ValueError(f"need >= 1 source, got {n}")
+    p_end = 1.0 / mean_burst
+    target = load / n  # stationary P(source bursting toward this output)
+    r = p_end * target / (1.0 - target)
+    t = np.zeros((n + 1, n + 1))
+    for m in range(n + 1):
+        survive = sstats.binom.pmf(np.arange(m + 1), m, 1.0 - p_end)
+        fresh = sstats.binom.pmf(np.arange(n - m + 1), n - m, r)
+        t[m, : m + 1 + n - m] = np.convolve(survive, fresh)[: n + 1]
+    return t
+
+
+def bursty_queue_solution(
+    n: int,
+    load: float,
+    mean_burst: float,
+    capacity: int,
+    tol: float = 1e-12,
+    max_iter: int = 200_000,
+) -> dict:
+    """Stationary joint distribution and loss of the bursty output queue.
+
+    Chain order per slot: burst states transition, the ``m'`` active bursts
+    each deliver one cell (admitted up to ``capacity``), one cell departs.
+    Returns the loss probability, mean queue and the marginal distributions.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    t = _burst_state_transitions(n, load, mean_burst)
+    states_q = capacity + 1
+    p = np.zeros((n + 1, states_q))
+    p[0, 0] = 1.0
+    loss_rate = 0.0
+    for _ in range(max_iter):
+        # burst-state transition: P1[m', q] = sum_m P[m, q] T[m, m']
+        p1 = t.T @ p
+        # arrivals (m' cells) then one departure, with overflow accounting
+        nxt = np.zeros_like(p)
+        lost = 0.0
+        for m in range(n + 1):
+            row = p1[m]
+            if not row.any():
+                continue
+            shifted = np.zeros(states_q)
+            for q in range(states_q):
+                if row[q] == 0.0:
+                    continue
+                q_in = q + m
+                over = max(q_in - capacity, 0)
+                lost += row[q] * over
+                q_new = max(min(q_in, capacity) - 1, 0)
+                shifted[q_new] += row[q]
+            nxt[m] = shifted
+        delta = np.abs(nxt - p).max()
+        p = nxt
+        loss_rate = lost
+        if delta < tol:
+            break
+    p /= p.sum()
+    arrivals = load  # cells per slot offered to this output in expectation
+    marginal_q = p.sum(axis=0)
+    marginal_m = p.sum(axis=1)
+    return {
+        "loss_probability": loss_rate / arrivals,
+        "mean_queue": float(np.arange(states_q) @ marginal_q),
+        "queue_distribution": marginal_q,
+        "burst_distribution": marginal_m,
+    }
+
+
+def bursty_loss(n: int, load: float, mean_burst: float, capacity: int) -> float:
+    """Loss probability of the finite bursty output queue."""
+    return bursty_queue_solution(n, load, mean_burst, capacity)["loss_probability"]
+
+
+def burstiness_penalty(
+    n: int, load: float, mean_burst: float, capacity: int
+) -> float:
+    """Loss ratio bursty / Bernoulli at equal load and buffer — how much a
+    given burstiness costs (>= 1; grows rapidly with burst length)."""
+    from repro.analysis.buffer_sizing import output_queue_loss
+
+    smooth = output_queue_loss(n, load, capacity)
+    rough = bursty_loss(n, load, mean_burst, capacity)
+    if smooth <= 0:
+        return float("inf") if rough > 0 else 1.0
+    return rough / smooth

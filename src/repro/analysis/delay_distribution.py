@@ -1,0 +1,59 @@
+"""Full delay *distribution* of the slotted output queue (beyond the mean).
+
+The [KaHM87]/[AOST93] comparisons the paper quotes are about mean delay; a
+switch designer also needs tails.  Under the arrivals-then-service
+convention, a tagged cell's in-switch delay is
+
+    D = Q + U,
+
+where ``Q`` is the stationary queue length the slot's batch finds, and ``U``
+is the number of same-batch cells enqueued ahead of the tagged cell.  For a
+randomly tagged cell of batch ``A``:
+
+    P(U = u) = P(A >= u + 1) / E[A]        (size-biased batch position)
+
+so the delay PMF is the convolution of the stationary queue distribution
+with the ``U`` distribution.  Cross-checked against simulated delay
+histograms in ``tests/analysis``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.queueing import batch_pmf, stationary_queue_distribution
+
+
+def batch_position_pmf(n: int, p: float) -> np.ndarray:
+    """PMF of a tagged cell's position among its slot's arrivals."""
+    if p <= 0.0:
+        raise ValueError("a tagged cell requires positive load")
+    a = batch_pmf(n, p)
+    mean_a = float(np.arange(len(a)) @ a)
+    tail = np.cumsum(a[::-1])[::-1]  # tail[u] = P(A >= u)
+    # P(U = u) = P(A >= u+1) / E[A], u = 0..n-1
+    u = tail[1:] / mean_a
+    return u
+
+
+def delay_pmf(n: int, p: float, truncate: int = 1024) -> np.ndarray:
+    """PMF of a cell's in-switch delay (slots) for the n-input output queue."""
+    q = stationary_queue_distribution(n, p, truncate=truncate)
+    u = batch_position_pmf(n, p)
+    d = np.convolve(q, u)[:truncate]
+    return d / d.sum()
+
+
+def delay_quantile(n: int, p: float, quantile: float, truncate: int = 1024) -> int:
+    """Smallest d with P(D <= d) >= quantile (e.g. the p99 delay)."""
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    cdf = np.cumsum(delay_pmf(n, p, truncate))
+    idx = int(np.searchsorted(cdf, quantile))
+    return min(idx, truncate - 1)
+
+
+def mean_delay(n: int, p: float, truncate: int = 1024) -> float:
+    """Mean of the delay PMF (must agree with the [KaHM87] closed form)."""
+    d = delay_pmf(n, p, truncate)
+    return float(np.arange(len(d)) @ d)

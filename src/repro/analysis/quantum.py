@@ -1,0 +1,91 @@
+"""Packet-size quantum and aggregate-throughput arithmetic (paper §3.5).
+
+The pipelined memory requires packets to be a multiple of the buffer's total
+width (or half of it, with the split organization).  Section 3.5 argues this
+quantum is benign: "consider a quantum as small as 32 to 64 bytes ... buffer
+widths of 256 to 1024 bits.  With an (on-chip) memory cycle time of 5 ns ...
+the aggregate throughput of such a buffer is 50 to 200 Gbits/s (12 to 25
+GBytes/s) — enough for 16 incoming and 16 outgoing links near the Giga-Byte
+per second range each."  Bench E6 regenerates that arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class QuantumPoint:
+    """One row of the §3.5 feasibility arithmetic."""
+
+    quantum_bytes: int  # packet size quantum (= buffer width in bytes)
+    width_bits: int  # total buffer width
+    cycle_ns: float  # memory cycle time
+    aggregate_gbps: float  # buffer throughput, Gbit/s
+    aggregate_gbytes: float  # buffer throughput, GByte/s
+    per_link_gbps: float  # per-link throughput for n_links links
+    n_links: int
+
+
+def aggregate_throughput_gbps(width_bits: int, cycle_ns: float) -> float:
+    """Shared-buffer aggregate throughput: ``width / cycle`` in Gbit/s."""
+    if width_bits < 1:
+        raise ValueError(f"width must be >= 1 bit, got {width_bits}")
+    if cycle_ns <= 0:
+        raise ValueError(f"cycle time must be positive, got {cycle_ns}")
+    return width_bits / cycle_ns  # bits per ns == Gbit/s
+
+
+def quantum_table(
+    quanta_bytes: list[int] | None = None,
+    cycle_ns: float = 5.0,
+    n_links: int = 16,
+    half_quantum: bool = False,
+) -> list[QuantumPoint]:
+    """Regenerate the §3.5 quantum-vs-throughput table.
+
+    ``half_quantum=True`` applies the two-memory split of §3.5: the same
+    buffer width supports packets of half the quantum.
+    """
+    if quanta_bytes is None:
+        quanta_bytes = [32, 48, 64]
+    rows = []
+    for q in quanta_bytes:
+        width = q * 8 * (2 if half_quantum else 1)
+        agg = aggregate_throughput_gbps(width, cycle_ns)
+        # The aggregate covers n incoming + n outgoing links.
+        per_link = agg / (2 * n_links)
+        rows.append(
+            QuantumPoint(
+                quantum_bytes=q,
+                width_bits=width,
+                cycle_ns=cycle_ns,
+                aggregate_gbps=agg,
+                aggregate_gbytes=agg / 8.0,
+                per_link_gbps=per_link,
+                n_links=n_links,
+            )
+        )
+    return rows
+
+
+def required_width_bits(n_links: int, link_gbps: float, cycle_ns: float) -> int:
+    """Buffer width needed for ``n_links`` full-duplex links of ``link_gbps``."""
+    import math
+
+    total_gbps = 2 * n_links * link_gbps
+    return math.ceil(total_gbps * cycle_ns)
+
+
+def telegraphos3_throughput_check() -> dict[str, float]:
+    """Telegraphos III datapoint: 16 stages x 16 bits at 16 ns worst case
+    delivers 16 Gb/s aggregate = 1 Gb/s per link for 8+8 links (paper §4.4)."""
+    width_bits = 16 * 16
+    worst = aggregate_throughput_gbps(width_bits, 16.0)
+    typical = aggregate_throughput_gbps(width_bits, 10.0)
+    return {
+        "aggregate_worst_gbps": worst,
+        "aggregate_typical_gbps": typical,
+        "per_link_worst_gbps": worst / 16,
+        "per_link_typical_gbps": typical / 16,
+    }

@@ -1,0 +1,125 @@
+"""Discrete-time queueing models for output/shared buffering.
+
+The slotted output queue of an ``n x n`` switch under uniform Bernoulli
+traffic receives a binomial batch ``A ~ Bin(n, p/n)`` of cells per slot and
+serves one cell per slot.  This module computes its stationary queue-length
+distribution (exactly, by truncated power iteration) and the classical
+closed-form results the literature quotes:
+
+* mean waiting time ``W = ((n-1)/n) * p / (2 (1-p))`` slots for output
+  queueing [KaHM87, eq. for finite n], approaching the M/D/1 value as
+  ``n -> infinity``;
+* the queue-tail distribution used by [HlKa88] for shared-buffer sizing
+  (see :mod:`repro.analysis.buffer_sizing`).
+
+Two slot conventions exist in the literature; we use *arrivals first, then
+one departure* — the same convention as the simulators in
+:mod:`repro.switches` — so analytic and simulated distributions are
+comparable without off-by-one fudging.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as sstats
+
+
+def batch_pmf(n: int, p: float, max_k: int | None = None) -> np.ndarray:
+    """PMF of the per-slot arrival batch ``A ~ Bin(n, p/n)`` at one output."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"load must be in [0, 1], got {p}")
+    kmax = n if max_k is None else min(max_k, n)
+    return sstats.binom.pmf(np.arange(kmax + 1), n, p / n)
+
+
+def stationary_queue_distribution(
+    n: int,
+    p: float,
+    truncate: int = 2048,
+    tol: float = 1e-14,
+    max_iter: int = 200_000,
+) -> np.ndarray:
+    """Stationary distribution of the infinite-buffer output queue.
+
+    Queue recursion (arrivals first, then service):
+    ``Q' = max(Q + A - 1, 0)``.  The distribution is computed by power
+    iteration on a truncated support; ``truncate`` must comfortably exceed
+    the occupancies of interest (the [HlKa88] capacities are < 200).
+    """
+    if p >= 1.0:
+        raise ValueError("queue is unstable at load >= 1")
+    a = batch_pmf(n, p)
+    q = np.zeros(truncate)
+    q[0] = 1.0
+    for _ in range(max_iter):
+        nxt = np.convolve(q, a)[:truncate]
+        # service: shift down by one; states 0 and 1 both map to 0
+        served = np.empty_like(q)
+        served[:-1] = nxt[1:truncate]
+        served[-1] = 0.0
+        served[0] += nxt[0]
+        delta = np.abs(served - q).max()
+        q = served
+        if delta < tol:
+            break
+    return q / q.sum()
+
+
+def mean_queue_length(n: int, p: float, **kwargs) -> float:
+    """Mean stationary occupancy of one output queue."""
+    q = stationary_queue_distribution(n, p, **kwargs)
+    return float(np.arange(len(q)) @ q)
+
+
+def output_queue_wait(n: int, p: float) -> float:
+    """[KaHM87] closed-form mean wait (slots) for output queueing.
+
+    ``W = ((n-1)/n) * p / (2 (1 - p))``; the M/D/1 result is the
+    ``n -> infinity`` limit.  This is the *waiting* time; a cell's total
+    in-switch delay in the simulators equals its wait (service happens in
+    the departure slot itself under the arrivals-then-service convention).
+    """
+    if p >= 1.0:
+        return math.inf
+    return (n - 1) / n * p / (2.0 * (1.0 - p))
+
+
+def md1_wait(p: float) -> float:
+    """M/D/1 mean wait in service-time units (the n -> infinity limit)."""
+    if p >= 1.0:
+        return math.inf
+    return p / (2.0 * (1.0 - p))
+
+
+def convolve_queues(q: np.ndarray, n: int, truncate: int | None = None) -> np.ndarray:
+    """Distribution of the *total* occupancy of ``n`` independent queues.
+
+    This is the [HlKa88] shared-buffer approximation: the n output queues of
+    a shared-memory switch are treated as independent; the shared pool
+    overflows when their sum exceeds the pool size.  FFT-based convolution
+    keeps this fast for n = 16, support ~2k.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    size = len(q) if truncate is None else truncate
+    # Zero-pad to avoid circular wrap-around, then FFT-power.
+    full = n * (len(q) - 1) + 1
+    nfft = 1 << (full - 1).bit_length()
+    f = np.fft.rfft(q, nfft)
+    total = np.fft.irfft(f**n, nfft)[:full]
+    total = np.clip(total, 0.0, None)
+    total /= total.sum()
+    return total[:size]
+
+
+def tail_probability(dist: np.ndarray, threshold: int) -> float:
+    """P(X > threshold) for a PMF array indexed by value."""
+    if threshold < 0:
+        return 1.0
+    if threshold >= len(dist) - 1:
+        return 0.0
+    return float(dist[threshold + 1 :].sum())

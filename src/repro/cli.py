@@ -1,0 +1,273 @@
+"""Command-line interface: run the paper's systems without writing code.
+
+Examples
+--------
+Run a slot-level architecture under uniform traffic::
+
+    python -m repro simulate --arch shared -n 8 --load 0.9 --slots 20000
+
+Run the word-level pipelined-memory switch (the paper's contribution)::
+
+    python -m repro pipelined -n 8 --load 0.6 --cycles 100000 --credits
+
+Drive the wormhole network ([Dally90] comparison)::
+
+    python -m repro wormhole --k 8 --dims 2 --lanes 1 --load 1.0
+
+Print a Telegraphos silicon report or the [HlKa88] buffer sizing::
+
+    python -m repro vlsi --chip 3
+    python -m repro sizing -n 16 --load 0.8 --target 1e-3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.switches.harness import format_table
+
+
+def _add_simulate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("simulate", help="run a slot-level switch architecture")
+    p.add_argument("--arch", required=True,
+                   choices=["fifo", "voq", "output", "shared", "crosspoint",
+                            "block", "speedup", "interleaved", "knockout"])
+    p.add_argument("-n", type=int, default=8, help="switch size (n x n)")
+    p.add_argument("--load", type=float, default=0.8)
+    p.add_argument("--slots", type=int, default=20_000)
+    p.add_argument("--capacity", type=int, default=None,
+                   help="buffer capacity in cells (architecture-specific unit)")
+    p.add_argument("--scheduler", default="islip",
+                   choices=["pim", "islip", "2drr", "greedy", "max"],
+                   help="VOQ scheduler (voq architecture only)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="mean burst length for bursty on/off traffic")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_simulate)
+
+
+def _make_switch(args):
+    from repro import switches as sw
+
+    n, cap = args.n, args.capacity
+    if args.arch == "fifo":
+        return sw.FifoInputQueued(n, n, capacity=cap, seed=args.seed)
+    if args.arch == "voq":
+        sched = {
+            "pim": lambda: sw.PIM(iterations=4, seed=args.seed),
+            "islip": lambda: sw.Islip(iterations=4),
+            "2drr": sw.TwoDimRoundRobin,
+            "greedy": lambda: sw.GreedyMaximal(seed=args.seed),
+            "max": sw.MaxSizeMatching,
+        }[args.scheduler]()
+        return sw.VoqInputBuffered(n, n, sched, capacity_per_input=cap)
+    if args.arch == "output":
+        return sw.OutputQueued(n, n, capacity=cap, seed=args.seed)
+    if args.arch == "shared":
+        return sw.SharedBuffer(n, n, capacity=cap, seed=args.seed)
+    if args.arch == "crosspoint":
+        return sw.CrosspointQueued(n, n, capacity=cap, seed=args.seed)
+    if args.arch == "block":
+        block = max(n // 2, 1)
+        return sw.BlockCrosspoint(n, n, block=block, capacity_per_block=cap,
+                                  seed=args.seed)
+    if args.arch == "speedup":
+        return sw.SpeedupSwitch(n, n, speedup=2, output_capacity=cap, seed=args.seed)
+    if args.arch == "interleaved":
+        return sw.InterleavedSharedBuffer(n, n, m_banks=cap or 4 * n, seed=args.seed)
+    if args.arch == "knockout":
+        return sw.KnockoutSwitch(n, n, l_paths=8, capacity=cap, seed=args.seed)
+    raise AssertionError(args.arch)
+
+
+def cmd_simulate(args) -> int:
+    from repro.traffic import BernoulliUniform, BurstyOnOff
+
+    switch = _make_switch(args)
+    switch.stats.warmup = args.slots // 5
+    if args.burst:
+        source = BurstyOnOff(args.n, args.n, args.load, args.burst, seed=args.seed + 1)
+    else:
+        source = BernoulliUniform(args.n, args.n, args.load, seed=args.seed + 1)
+    stats = switch.run(source, args.slots)
+    rows = [[k, v] for k, v in stats.summary().items()]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.arch} {args.n}x{args.n} @ load {args.load}"))
+    return 0
+
+
+def _add_pipelined(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("pipelined", help="run the word-level pipelined-memory switch")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--load", type=float, default=0.6)
+    p.add_argument("--cycles", type=int, default=100_000)
+    p.add_argument("--addresses", type=int, default=256)
+    p.add_argument("--width", type=int, default=16, help="word width in bits")
+    p.add_argument("--quanta", type=int, default=1,
+                   help="packet size in buffer-width quanta (§3.5)")
+    p.add_argument("--credits", action="store_true",
+                   help="credit-based (lossless) flow control")
+    p.add_argument("--no-cut-through", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_pipelined)
+
+
+def cmd_pipelined(args) -> int:
+    from repro.core import PipelinedSwitch, PipelinedSwitchConfig, RenewalPacketSource
+
+    cfg = PipelinedSwitchConfig(
+        n=args.n, addresses=args.addresses, width_bits=args.width,
+        quanta=args.quanta, credit_flow=args.credits,
+        cut_through=not args.no_cut_through,
+    )
+    src = RenewalPacketSource(
+        n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
+        width_bits=cfg.width_bits, seed=args.seed,
+    )
+    switch = PipelinedSwitch(cfg, src)
+    switch.warmup = args.cycles // 10
+    switch.run(args.cycles)
+    if not args.credits:
+        switch.drain()
+    rows = [
+        ["offered packets", switch.stats.offered],
+        ["delivered packets", switch.stats.delivered],
+        ["dropped packets", switch.stats.dropped],
+        ["link utilization", round(switch.link_utilization, 4)],
+        ["mean cut-through latency (cycles)", round(switch.ct_latency.mean, 2)],
+        ["cut-through waves", switch.cut_through_waves],
+        ["plain read waves", switch.plain_read_waves],
+        ["write waves", switch.write_waves],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=(f"pipelined memory {cfg.n}x{cfg.n}, {cfg.depth} stages, "
+               f"{cfg.packet_words}-word packets, load {args.load}"),
+    ))
+    return 0
+
+
+def _add_wormhole(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("wormhole", help="run the wormhole k-ary n-cube network")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("--lanes", type=int, default=1)
+    p.add_argument("--buffer", type=int, default=16, help="flits per input port")
+    p.add_argument("--message", type=int, default=20, help="flits per message")
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--cycles", type=int, default=10_000)
+    p.add_argument("--wrap", action="store_true", help="torus instead of mesh")
+    p.add_argument("--dateline", action="store_true",
+                   help="dateline virtual channels (torus deadlock avoidance)")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_wormhole)
+
+
+def cmd_wormhole(args) -> int:
+    from repro.network import KAryNCube, WormholeNetwork
+
+    topo = KAryNCube(args.k, args.dims, wrap=args.wrap)
+    net = WormholeNetwork(
+        topo, lanes=args.lanes, buffer_flits=args.buffer,
+        message_flits=args.message, load=args.load, seed=args.seed,
+        dateline=args.dateline,
+    )
+    net.warmup = args.cycles // 5
+    net.run(args.cycles)
+    rows = [[k, round(v, 4) if isinstance(v, float) else v]
+            for k, v in net.summary().items()]
+    topo_name = f"{args.k}-ary {args.dims}-{'cube (torus)' if args.wrap else 'mesh'}"
+    print(format_table(["metric", "value"], rows, title=f"wormhole on {topo_name}"))
+    return 0
+
+
+def _add_vlsi(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("vlsi", help="print silicon reports (paper §4-§5)")
+    p.add_argument("--chip", type=int, choices=[1, 2, 3], default=3,
+                   help="Telegraphos prototype number")
+    p.add_argument("--comparisons", action="store_true",
+                   help="also print the §5 comparisons")
+    p.set_defaults(func=cmd_vlsi)
+
+
+def cmd_vlsi(args) -> int:
+    from repro.vlsi.telegraphos import (
+        telegraphos1_report,
+        telegraphos2_report,
+        telegraphos3_report,
+    )
+
+    report = {1: telegraphos1_report, 2: telegraphos2_report,
+              3: telegraphos3_report}[args.chip]()
+    pub, mod = report["published"], report["model"]
+    rows = [[k, pub[k], round(mod[k], 3) if isinstance(mod[k], float) else mod[k]]
+            for k in pub]
+    print(format_table(["figure", "paper", "model"], rows,
+                       title=f"Telegraphos {args.chip}"))
+    if args.comparisons:
+        from repro.vlsi.comparisons import pipelined_vs_prizma, pipelined_vs_wide
+
+        wide = pipelined_vs_wide()
+        prizma = pipelined_vs_prizma()
+        print()
+        print(format_table(
+            ["comparison", "value"],
+            [
+                ["pipelined peripheral (mm^2)", round(wide["pipelined_peripheral_mm2"], 1)],
+                ["wide-memory peripheral (mm^2)", round(wide["wide_peripheral_mm2"], 1)],
+                ["peripheral saving", f"{wide['peripheral_saving']:.0%}"],
+                ["PRIZMA / pipelined crossbar cost", f"{prizma['crosspoint_ratio']:.0f}x"],
+                ["shift-register / RAM bit area", f"{prizma['shift_register_penalty']:.0f}x"],
+            ],
+            title="Section 5 comparisons",
+        ))
+    return 0
+
+
+def _add_sizing(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("sizing", help="[HlKa88] buffer sizing for a loss target")
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--load", type=float, default=0.8)
+    p.add_argument("--target", type=float, default=1e-3)
+    p.set_defaults(func=cmd_sizing)
+
+
+def cmd_sizing(args) -> int:
+    from repro.analysis.buffer_sizing import hlka88_comparison
+
+    r = hlka88_comparison(args.n, args.load, args.target)
+    rows = [
+        ["shared buffering", r["shared_total"], f"{r['shared_per_output']:.1f}/output"],
+        ["output queueing", r["output_total"], f"{r['output_per_output']}/output"],
+        ["input smoothing", r["smoothing_total"], f"{r['smoothing_per_input']}/input"],
+    ]
+    print(format_table(
+        ["architecture", "total cells", "per port"], rows,
+        title=(f"buffers for loss <= {args.target:g}, {args.n}x{args.n}, "
+               f"load {args.load}"),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pipelined Memory Shared Buffer reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(sub)
+    _add_pipelined(sub)
+    _add_wormhole(sub)
+    _add_vlsi(sub)
+    _add_sizing(sub)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Per-cycle wave-initiation arbitration (paper §3.3).
+
+Every cycle at most one wave may start at bank ``M0``.  The arbiter chooses
+among:
+
+* **departures** — a READ wave for an output link whose queue has a packet,
+  or a combined WRITE_CT wave when the head of an *arriving* packet can cut
+  through to an idle output whose queue is empty;
+* **stores** — a plain WRITE wave for an arriving packet.
+
+Following the paper, departures normally win ("higher priority is given to
+the outgoing links, because any delay to supply data to an outgoing link
+leads to idle time on that link, while delays to store incoming packets ...
+have no direct consequence").  A store whose *deadline* has arrived — the
+next packet's head is about to overwrite input latch 0 — overrides
+everything; the simulator's invariant checks prove this override suffices
+(no deadline is ever missed, see ``tests/core/test_invariants.py``).
+
+Round-robin pointers provide fairness among outputs and among inputs, as in
+the Telegraphos I arbitration FPGA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Priority(enum.Enum):
+    """Arbitration policy knob (ablation bench E5 compares these)."""
+
+    READS_FIRST = "reads_first"  # the paper's choice
+    WRITES_FIRST = "writes_first"  # ablation: stores win over departures
+    OLDEST_FIRST = "oldest_first"  # ablation: global FCFS over request times
+
+
+@dataclass(slots=True)
+class WriteRequest:
+    """A fully-described pending store: packet arriving on ``in_link``."""
+
+    in_link: int
+    dst: int
+    uid: int
+    arrival_cycle: int  # head word latched at end of this cycle
+
+    @property
+    def earliest(self) -> int:
+        return self.arrival_cycle + 1
+
+    def deadline(self, depth: int) -> int:
+        """Last cycle the store wave may initiate (inclusive)."""
+        return self.arrival_cycle + depth
+
+
+@dataclass(slots=True)
+class ReadCandidate:
+    """A departure-eligible output: ``queued_since`` orders OLDEST_FIRST."""
+
+    out_link: int
+    queued_since: int
+    cut_through_write: WriteRequest | None = None  # WRITE_CT when set
+
+
+@dataclass(slots=True)
+class Decision:
+    """Arbiter verdict for one cycle."""
+
+    kind: str  # "read", "write_ct", "write", or "idle"
+    out_link: int | None = None
+    write: WriteRequest | None = None
+
+
+class WaveArbiter:
+    """Chooses the (at most one) wave initiated each cycle."""
+
+    def __init__(
+        self, n_in: int, n_out: int, depth: int, priority: Priority = Priority.READS_FIRST
+    ) -> None:
+        self.n_in = n_in
+        self.n_out = n_out
+        self.depth = depth
+        self.priority = priority
+        self._out_rr = 0
+        self._in_rr = 0
+
+    def decide(
+        self,
+        cycle: int,
+        reads: list[ReadCandidate],
+        writes: list[WriteRequest],
+    ) -> Decision:
+        """Pick this cycle's wave.
+
+        ``reads`` must only contain outputs that are currently idle (wave
+        spacing respected); ``writes`` only stores whose window is open
+        (``earliest <= cycle <= deadline``).  Both preconditions are the
+        switch's responsibility; the arbiter enforces the policy.
+        """
+        # Deadline stores override everything regardless of policy: missing
+        # one would corrupt an input latch.  Earliest deadline first.
+        urgent = [w for w in writes if w.deadline(self.depth) <= cycle]
+        if urgent:
+            w = min(urgent, key=lambda w: (w.deadline(self.depth), w.in_link))
+            return self._as_write_decision(w, reads)
+
+        choice_read = self._pick_read(reads)
+        choice_write = self._pick_write(writes)
+
+        if self.priority is Priority.READS_FIRST:
+            ordered = (choice_read, choice_write)
+        elif self.priority is Priority.WRITES_FIRST:
+            ordered = (choice_write, choice_read)
+        else:  # OLDEST_FIRST: compare request ages
+            r_age = choice_read.queued_since if choice_read else None
+            w_age = choice_write.arrival_cycle if choice_write else None
+            if r_age is not None and (w_age is None or r_age <= w_age):
+                ordered = (choice_read, choice_write)
+            else:
+                ordered = (choice_write, choice_read)
+
+        for choice in ordered:
+            if choice is None:
+                continue
+            if isinstance(choice, ReadCandidate):
+                self._out_rr = (choice.out_link + 1) % self.n_out
+                if choice.cut_through_write is not None:
+                    return Decision(
+                        kind="write_ct",
+                        out_link=choice.out_link,
+                        write=choice.cut_through_write,
+                    )
+                return Decision(kind="read", out_link=choice.out_link)
+            self._in_rr = (choice.in_link + 1) % self.n_in
+            return Decision(kind="write", write=choice)
+        return Decision(kind="idle")
+
+    # -- helpers ---------------------------------------------------------------
+    def _pick_read(self, reads: list[ReadCandidate]) -> ReadCandidate | None:
+        if not reads:
+            return None
+        ptr = self._out_rr
+        return min(reads, key=lambda r: (r.out_link - ptr) % self.n_out)
+
+    def _pick_write(self, writes: list[WriteRequest]) -> WriteRequest | None:
+        if not writes:
+            return None
+        # Earliest deadline first; round-robin pointer breaks ties fairly.
+        ptr = self._in_rr
+        return min(
+            writes,
+            key=lambda w: (w.deadline(self.depth), (w.in_link - ptr) % self.n_in),
+        )
+
+    def _as_write_decision(
+        self, w: WriteRequest, reads: list[ReadCandidate]
+    ) -> Decision:
+        """An urgent store still cuts through if its output happens to be free."""
+        for r in reads:
+            if r.cut_through_write is w:
+                self._out_rr = (r.out_link + 1) % self.n_out
+                return Decision(kind="write_ct", out_link=r.out_link, write=w)
+        self._in_rr = (w.in_link + 1) % self.n_in
+        return Decision(kind="write", write=w)

@@ -1,0 +1,81 @@
+"""A single-ported memory bank — one pipeline stage of the shared buffer.
+
+The pipelined memory (paper figure 4) is a row of ``B`` of these banks.  Each
+bank is ``w`` bits wide and ``addresses`` deep; being *single-ported* it can
+perform at most one access (read or write) per clock cycle.  The port guard
+here raises on any same-cycle double access: the paper's central structural
+claim — that one wave initiation per cycle never causes a bank conflict —
+is enforced, not assumed.
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Word
+
+
+class BankConflictError(Exception):
+    """A single-ported bank was accessed twice in one clock cycle."""
+
+
+class MemoryBank:
+    """Single-ported storage array: ``addresses`` words of ``w`` bits.
+
+    ``w`` is carried for bookkeeping/area accounting; payloads are Python
+    ints standing in for the ``w`` data bits.
+    """
+
+    def __init__(self, addresses: int, width_bits: int, name: str = "bank") -> None:
+        if addresses < 1:
+            raise ValueError(f"bank needs >= 1 address, got {addresses}")
+        if width_bits < 1:
+            raise ValueError(f"bank width must be >= 1 bit, got {width_bits}")
+        self.addresses = addresses
+        self.width_bits = width_bits
+        self.name = name
+        self._cells: list[Word | None] = [None] * addresses
+        self._last_access_cycle = -1
+        self.reads = 0
+        self.writes = 0
+
+    def _guard(self, cycle: int) -> None:
+        if cycle == self._last_access_cycle:
+            raise BankConflictError(
+                f"{self.name}: second access in cycle {cycle} "
+                "(single-ported bank)"
+            )
+        if cycle < self._last_access_cycle:
+            raise ValueError(
+                f"{self.name}: access at cycle {cycle} after cycle "
+                f"{self._last_access_cycle} (time must be monotonic)"
+            )
+        self._last_access_cycle = cycle
+
+    def write(self, cycle: int, addr: int, word: Word) -> None:
+        """Store ``word`` at ``addr``; counts as this cycle's single access."""
+        self._guard(cycle)
+        if not 0 <= addr < self.addresses:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        self._cells[addr] = word
+        self.writes += 1
+
+    def read(self, cycle: int, addr: int) -> Word:
+        """Fetch the word at ``addr``; counts as this cycle's single access."""
+        self._guard(cycle)
+        if not 0 <= addr < self.addresses:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        word = self._cells[addr]
+        if word is None:
+            raise ValueError(
+                f"{self.name}: read of never-written address {addr} "
+                f"in cycle {cycle}"
+            )
+        self.reads += 1
+        return word
+
+    def peek(self, addr: int) -> Word | None:
+        """Debug/test access that does not use the port."""
+        return self._cells[addr]
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.addresses * self.width_bits

@@ -1,0 +1,118 @@
+"""Buffer (address) management: free list and per-output packet queues.
+
+The paper deliberately separates this from the pipelined memory proper
+("the buffer (address) management circuits are independent of the pipelined
+memory", §3.3, pointing at [Kate94]/[KVES95] for Telegraphos' choice).  We
+implement the standard organization those reports describe: a hardware free
+list of buffer addresses plus one FIFO list of ready-to-depart packets per
+outgoing link.
+
+A packet of ``q`` quanta (§3.5: packet sizes are integer multiples of the
+buffer-width quantum) occupies ``q`` buffer addresses, one per wave of its
+store chain; they are allocated and released together.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class BufferFullError(Exception):
+    """Allocation was attempted with too few free addresses."""
+
+
+@dataclass(slots=True)
+class PacketRecord:
+    """Bookkeeping for one packet occupying one or more buffer addresses."""
+
+    uid: int
+    src: int
+    dst: int
+    addrs: list[int]
+    arrival_cycle: int  # head word arrived on the input link
+    write_init_cycle: int  # store wave (chain) initiation
+    read_init_cycle: int = -1  # departure wave initiation (-1 = still queued)
+
+    @property
+    def addr(self) -> int:
+        """First (or only) buffer address — the single-quantum common case."""
+        return self.addrs[0]
+
+    @property
+    def quanta(self) -> int:
+        return len(self.addrs)
+
+
+class BufferManager:
+    """Free list + per-output FIFO queues over ``addresses`` buffer slots."""
+
+    def __init__(self, addresses: int, n_out: int) -> None:
+        if addresses < 1:
+            raise ValueError(f"need >= 1 buffer address, got {addresses}")
+        self.addresses = addresses
+        self.n_out = n_out
+        self._free: deque[int] = deque(range(addresses))
+        self.queues: list[deque[PacketRecord]] = [deque() for _ in range(n_out)]
+        self._by_addr: dict[int, PacketRecord] = {}
+        self.peak_occupancy = 0
+
+    # -- allocation -----------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def occupancy(self) -> int:
+        return self.addresses - len(self._free)
+
+    def allocate(
+        self, uid: int, src: int, dst: int, arrival: int, cycle: int, quanta: int = 1
+    ) -> PacketRecord:
+        """Take ``quanta`` free addresses for an arriving packet and queue it."""
+        if quanta < 1:
+            raise ValueError(f"packets occupy >= 1 address, got {quanta}")
+        if len(self._free) < quanta:
+            raise BufferFullError(
+                f"need {quanta} addresses for packet {uid} at cycle {cycle}, "
+                f"only {len(self._free)} free"
+            )
+        addrs = [self._free.popleft() for _ in range(quanta)]
+        rec = PacketRecord(
+            uid=uid,
+            src=src,
+            dst=dst,
+            addrs=addrs,
+            arrival_cycle=arrival,
+            write_init_cycle=cycle,
+        )
+        for a in addrs:
+            self._by_addr[a] = rec
+        self.queues[dst].append(rec)
+        self.peak_occupancy = max(self.peak_occupancy, self.occupancy)
+        return rec
+
+    def head(self, dst: int) -> PacketRecord | None:
+        """Next packet to depart on output ``dst`` (FIFO order), if any."""
+        q = self.queues[dst]
+        return q[0] if q else None
+
+    def start_departure(self, dst: int, cycle: int) -> PacketRecord:
+        """Dequeue the head of output ``dst`` as its read wave initiates."""
+        q = self.queues[dst]
+        if not q:
+            raise ValueError(f"output {dst} has no queued packet at cycle {cycle}")
+        rec = q.popleft()
+        rec.read_init_cycle = cycle
+        return rec
+
+    def release(self, rec: PacketRecord) -> None:
+        """Return all the packet's addresses (read chain completed)."""
+        for a in rec.addrs:
+            if self._by_addr.get(a) is not rec:
+                raise ValueError(f"double release of address {a}")
+            del self._by_addr[a]
+            self._free.append(a)
+
+    def queued_packets(self) -> int:
+        return sum(len(q) for q in self.queues)

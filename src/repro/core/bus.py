@@ -1,0 +1,48 @@
+"""Tristate buses with an at-most-one-driver-per-cycle guard.
+
+In the chip, each pipeline stage's data bus is shared by the stage's input
+latches (one per incoming link), the bank's read port, and the output
+register.  Multiple simultaneous drivers would be an electrical fault; the
+simulator turns that fault into an exception, which the functional tests
+lean on heavily (bench E15).
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Word
+
+
+class BusContentionError(Exception):
+    """Two drivers attempted to drive the same bus in the same cycle."""
+
+
+class Bus:
+    """A named tristate bus carrying one :class:`Word` per cycle."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cycle = -1
+        self._value: Word | None = None
+        self._driver: str | None = None
+
+    def drive(self, cycle: int, value: Word, driver: str) -> None:
+        """Assert ``value`` on the bus for ``cycle`` on behalf of ``driver``."""
+        if cycle == self._cycle and self._driver is not None:
+            raise BusContentionError(
+                f"bus {self.name}: {driver} and {self._driver} both drive "
+                f"in cycle {cycle}"
+            )
+        self._cycle = cycle
+        self._value = value
+        self._driver = driver
+
+    def sample(self, cycle: int) -> Word:
+        """Read the bus value for ``cycle``; floating buses raise."""
+        if cycle != self._cycle or self._value is None:
+            raise BusContentionError(
+                f"bus {self.name}: sampled in cycle {cycle} while floating"
+            )
+        return self._value
+
+    def is_driven(self, cycle: int) -> bool:
+        return cycle == self._cycle and self._value is not None

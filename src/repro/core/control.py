@@ -1,0 +1,95 @@
+"""Wave control words and the control-signal pipeline (paper figure 5).
+
+The defining property of the pipelined memory: *only the first stage needs a
+control generator*.  A wave is described by one :class:`ControlWord` injected
+at stage ``M0``; stages ``M1..M(B-1)`` receive the identical word delayed by
+one cycle per stage, through a :class:`~repro.sim.engine.ShiftPipeline` —
+exactly the row of control pipeline registers in the paper's figures 5 and 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WaveOp(enum.Enum):
+    """Operation a wave performs at each bank as it sweeps left to right."""
+
+    WRITE = "write"  # store an incoming packet (input latches -> banks)
+    READ = "read"  # retrieve a stored packet (banks -> output registers)
+    WRITE_CT = "write_ct"  # combined write + cut-through: store the packet
+    # while the bus value is simultaneously latched into the output register
+    # ("in the same ... cycle, this word can also be loaded", paper §3.3)
+
+
+@dataclass(frozen=True, slots=True)
+class ControlWord:
+    """Control for one wave: op, which link(s), which buffer address.
+
+    ``in_link`` is meaningful for WRITE/WRITE_CT; ``out_link`` for
+    READ/WRITE_CT.  ``quantum`` numbers the wave within a multi-quantum
+    packet's chain (§3.5: packet sizes are integer multiples of the buffer
+    quantum; quantum ``q`` moves words ``q*B .. (q+1)*B - 1``).
+    ``packet_uid`` exists purely for checking/telemetry — a real chip
+    carries only (op, linkID, address), as the paper notes.
+    """
+
+    op: WaveOp
+    addr: int
+    in_link: int | None = None
+    out_link: int | None = None
+    packet_uid: int = -1
+    quantum: int = 0
+
+    def __post_init__(self) -> None:
+        writes = self.op in (WaveOp.WRITE, WaveOp.WRITE_CT)
+        reads = self.op in (WaveOp.READ, WaveOp.WRITE_CT)
+        if writes and self.in_link is None:
+            raise ValueError(f"{self.op} wave needs an input link")
+        if reads and self.out_link is None:
+            raise ValueError(f"{self.op} wave needs an output link")
+        if self.op is WaveOp.READ and self.in_link is not None:
+            raise ValueError("READ wave must not name an input link")
+
+
+class ControlPipeline:
+    """The delay line distributing one wave's control across the banks.
+
+    Per cycle the switch calls :meth:`advance` (every control word moves one
+    stage to the right — the clock edge on the control registers), then the
+    arbiter may :meth:`initiate` the cycle's new wave, which governs bank 0
+    *this* cycle.  ``stage(k)`` yields the control word governing bank ``k``
+    this cycle (``None`` when bank ``k`` is idle) — by construction it is the
+    word initiated ``k`` cycles ago, which is the paper's "control for stage
+    Mk is identical to stage M0 delayed by k clock cycles".
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"control pipeline depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._stages: list[ControlWord | None] = [None] * depth
+
+    def advance(self) -> None:
+        """Clock edge: shift every wave one stage to the right."""
+        self._stages = [None] + self._stages[:-1]
+
+    def initiate(self, word: ControlWord) -> None:
+        """Inject this cycle's wave at stage 0 (at most one per cycle)."""
+        if self._stages[0] is not None:
+            raise ValueError(
+                "two waves initiated in one cycle — the pipelined memory "
+                "allows exactly one initiation per cycle (paper §3.3)"
+            )
+        self._stages[0] = word
+
+    def stage(self, k: int) -> ControlWord | None:
+        return self._stages[k]
+
+    def active(self) -> list[tuple[int, ControlWord]]:
+        """(stage, word) for every stage currently executing a wave."""
+        return [(k, w) for k, w in enumerate(self._stages) if w is not None]
+
+    def idle(self) -> bool:
+        return all(w is None for w in self._stages)

@@ -1,0 +1,103 @@
+"""Input latch matrix and shared output register row (paper figure 4).
+
+Input side: each incoming link ``i`` owns one row of ``B`` latches; the
+``k``-th word of an arriving packet is loaded into latch ``(i, k)``.  There is
+deliberately *no* double buffering — the pipelined memory's write wave chases
+the arrival wave at the same one-stage-per-cycle rate, so a latch is always
+consumed before the next packet's word overwrites it.  The matrix *checks*
+this: overwriting a word that no write wave has consumed raises
+:class:`LatchOverrunError`, turning the paper's §3.2 correctness argument
+into an executable invariant.
+
+Output side: a single row of ``B`` registers shared by all outgoing links
+("with the restriction that no two outgoing links can start sending out
+packets in the same cycle", §3.2) — the restriction is enforced by the wave
+arbiter, and the row checks it was honoured.
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Word
+
+
+class LatchOverrunError(Exception):
+    """An input latch was overwritten before its write wave consumed it."""
+
+
+class InputLatchRow:
+    """The ``B`` input latches of one incoming link."""
+
+    def __init__(self, link: int, depth: int) -> None:
+        self.link = link
+        self.depth = depth
+        self._words: list[Word | None] = [None] * depth
+        self._consumed: list[bool] = [True] * depth
+
+    def load(self, k: int, word: Word) -> None:
+        """Latch arriving word ``k``; raises if the old word is still live."""
+        if not 0 <= k < self.depth:
+            raise IndexError(f"latch column {k} out of range (depth {self.depth})")
+        if not self._consumed[k]:
+            old = self._words[k]
+            raise LatchOverrunError(
+                f"input link {self.link} latch {k}: {word!r} overruns "
+                f"unconsumed {old!r} — write wave initiated too late"
+            )
+        self._words[k] = word
+        self._consumed[k] = False
+
+    def consume(self, k: int) -> Word:
+        """The write wave reads latch ``k`` (drives the stage-k bus)."""
+        word = self._words[k]
+        if word is None:
+            raise ValueError(f"input link {self.link} latch {k} is empty")
+        self._consumed[k] = True
+        return word
+
+    def discard(self, k: int) -> None:
+        """Mark latch ``k`` consumed without reading it (dropped packet)."""
+        self._consumed[k] = True
+
+    def live_words(self) -> int:
+        return sum(1 for c in self._consumed if not c)
+
+
+class OutputRegisterRow:
+    """The shared row of ``B`` output registers.
+
+    Register ``k`` is loaded from the stage-``k`` bus in one cycle and drives
+    its outgoing link in the next — the one-cycle skew that makes the
+    departing word stream contiguous.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        # Committed state: what each register holds *this* cycle.
+        self._words: list[Word | None] = [None] * depth
+        self._links: list[int | None] = [None] * depth
+        # Next state, adopted at commit().
+        self._next: list[tuple[Word, int] | None] = [None] * depth
+
+    def load(self, k: int, word: Word, out_link: int) -> None:
+        """Schedule register ``k`` to hold ``word`` for ``out_link`` next cycle."""
+        if self._next[k] is not None:
+            raise LatchOverrunError(
+                f"output register {k} loaded twice in one cycle — two waves "
+                "occupied the same stage (arbiter bug)"
+            )
+        self._next[k] = (word, out_link)
+
+    def driving(self, k: int) -> tuple[Word, int] | None:
+        """(word, out_link) register ``k`` drives this cycle, if any."""
+        if self._words[k] is None:
+            return None
+        return self._words[k], self._links[k]  # type: ignore[return-value]
+
+    def commit(self) -> None:
+        for k in range(self.depth):
+            if self._next[k] is not None:
+                self._words[k], self._links[k] = self._next[k]
+                self._next[k] = None
+            else:
+                self._words[k] = None
+                self._links[k] = None

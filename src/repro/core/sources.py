@@ -1,0 +1,229 @@
+"""Word-level packet sources and sinks for the pipelined-memory switch.
+
+A word-level source is polled once per cycle per *idle* input link; it either
+starts a new packet (whose head word arrives that cycle, followed by one word
+per cycle) or stays quiet.  The renewal source reproduces the traffic model
+of the paper's §3.4 analysis: a packet head appears on a given link in a
+given cycle with unconditional probability ``p / B`` at link load ``p``
+(packet size ``B`` words).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+from repro.sim.rng import make_rng
+from repro.traffic.base import TrafficSource
+
+
+def deterministic_payload(uid: int, size: int, width_bits: int = 16) -> tuple[int, ...]:
+    """Pseudo-random but uid-reproducible payload words (for integrity checks)."""
+    mask = (1 << width_bits) - 1
+    x = (uid * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+    out = []
+    for k in range(size):
+        x = (x * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        out.append((x >> 17) & mask)
+    return tuple(out)
+
+
+class PacketSource(ABC):
+    """Per-input-link packet injector."""
+
+    def __init__(self, n_out: int, packet_words: int, width_bits: int = 16) -> None:
+        self.n_out = n_out
+        self.packet_words = packet_words
+        self.width_bits = width_bits
+
+    @abstractmethod
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        """Destination of a packet whose head arrives this cycle, or None.
+
+        Called exactly once per cycle per idle link, in increasing cycle
+        order.  (The switch builds the actual :class:`Packet`.)
+        """
+
+
+class RenewalPacketSource(PacketSource):
+    """Geometric-gap renewal process per link, matching §3.4's assumptions.
+
+    After a packet's tail (or initially), each idle cycle starts a new packet
+    with probability ``q = p / (B - (B-1)p)``, which makes the long-run link
+    load (fraction of cycles carrying a word) equal ``p`` and the
+    unconditional head probability ``p/B``.  Destinations are uniform.
+    """
+
+    def __init__(
+        self,
+        n_out: int,
+        packet_words: int,
+        load: float,
+        width_bits: int = 16,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_out, packet_words, width_bits)
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        self.load = load
+        b = packet_words
+        denom = b - (b - 1) * load
+        self.start_prob = load / denom if denom > 0 else 1.0
+        self.rng = make_rng(seed)
+
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        if self.rng.random() < self.start_prob:
+            return int(self.rng.integers(0, self.n_out))
+        return None
+
+
+class SaturatingSource(PacketSource):
+    """Always has a packet ready (back-to-back): offered load 1.0.
+
+    ``dests`` may fix the destination pattern per link; default uniform
+    random.  Used by saturation and deadline-invariant tests.
+    """
+
+    def __init__(
+        self,
+        n_out: int,
+        packet_words: int,
+        dests: list[int] | None = None,
+        width_bits: int = 16,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_out, packet_words, width_bits)
+        self.dests = dests
+        self.rng = make_rng(seed)
+
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        if self.dests is not None:
+            return self.dests[link % len(self.dests)]
+        return int(self.rng.integers(0, self.n_out))
+
+
+class TracePacketSource(PacketSource):
+    """Scripted packet starts: ``schedule[link]`` is a list of
+    ``(earliest_cycle, dst)`` items, injected in order as the link frees up."""
+
+    def __init__(
+        self,
+        n_out: int,
+        packet_words: int,
+        schedule: dict[int, list[tuple[int, int]]],
+        width_bits: int = 16,
+    ) -> None:
+        super().__init__(n_out, packet_words, width_bits)
+        self.schedule = {link: list(items) for link, items in schedule.items()}
+        self._next_idx = {link: 0 for link in schedule}
+
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        items = self.schedule.get(link)
+        if not items:
+            return None
+        idx = self._next_idx[link]
+        if idx >= len(items):
+            return None
+        earliest, dst = items[idx]
+        if cycle >= earliest:
+            self._next_idx[link] = idx + 1
+            return dst
+        return None
+
+    def exhausted(self) -> bool:
+        return all(
+            self._next_idx[link] >= len(items)
+            for link, items in self.schedule.items()
+        )
+
+
+class SlotAdapterSource(PacketSource):
+    """Adapts a slotted :class:`~repro.traffic.base.TrafficSource`.
+
+    Slot ``s`` of the slotted source corresponds to cycles
+    ``[s*B, (s+1)*B)``: a cell arriving in slot ``s`` on link ``i`` becomes a
+    ``B``-word packet whose head arrives at cycle ``s*B`` (arrivals are
+    slot-synchronized — useful for apples-to-apples integration tests against
+    the slot-level :class:`~repro.switches.shared_memory.SharedBuffer`).
+    """
+
+    def __init__(
+        self, slotted: TrafficSource, packet_words: int, width_bits: int = 16
+    ) -> None:
+        super().__init__(slotted.n_out, packet_words, width_bits)
+        self.slotted = slotted
+        self._slot = -1
+        self._current: list[int | None] = [None] * slotted.n_in
+
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        slot, phase = divmod(cycle, self.packet_words)
+        if phase != 0:
+            return None
+        if slot != self._slot:
+            self._slot = slot
+            self._current = self.slotted.arrivals(slot)
+        dst = self._current[link]
+        self._current[link] = None  # consume
+        return dst
+
+
+class PacketSink:
+    """Reassembles and verifies the word stream of one outgoing link.
+
+    Checks (all raise on violation — these are the E15 functional assertions):
+
+    * words of one packet arrive on consecutive cycles (no gaps inside a
+      packet: the output link would have emitted garbage otherwise);
+    * word indices run 0..B-1 in order;
+    * payload equals what the source injected (checked by the switch, which
+      knows the sent packets).
+    """
+
+    def __init__(self, link: int, packet_words: int) -> None:
+        self.link = link
+        self.packet_words = packet_words
+        self.delivered: list[tuple[int, int, tuple[int, ...]]] = []
+        # in-progress reassembly
+        self._uid: int | None = None
+        self._words: list[int] = []
+        self._last_cycle = -2
+        self._head_cycle = -1
+
+    def deliver(self, cycle: int, packet_uid: int, index: int, payload: int) -> None:
+        if self._uid is None:
+            if index != 0:
+                raise AssertionError(
+                    f"output {self.link}: packet {packet_uid} started with "
+                    f"word {index}, expected 0"
+                )
+            self._uid = packet_uid
+            self._head_cycle = cycle
+            self._words = [payload]
+        else:
+            if packet_uid != self._uid:
+                raise AssertionError(
+                    f"output {self.link}: word of packet {packet_uid} "
+                    f"interleaved into packet {self._uid}"
+                )
+            if index != len(self._words):
+                raise AssertionError(
+                    f"output {self.link}: packet {packet_uid} word {index} "
+                    f"out of order (expected {len(self._words)})"
+                )
+            if cycle != self._last_cycle + 1:
+                raise AssertionError(
+                    f"output {self.link}: gap inside packet {packet_uid} "
+                    f"(cycle {cycle} after {self._last_cycle})"
+                )
+            self._words.append(payload)
+        self._last_cycle = cycle
+        if len(self._words) == self.packet_words:
+            self.delivered.append((self._uid, self._head_cycle, tuple(self._words)))
+            self._uid = None
+            self._words = []
+
+    @property
+    def mid_packet(self) -> bool:
+        return self._uid is not None

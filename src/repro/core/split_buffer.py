@@ -1,0 +1,343 @@
+"""Two-memory split pipelined buffer: half-quantum packets (paper §3.5).
+
+The straightforward pipelined memory requires the packet size to equal the
+total buffer width — ``2n`` words for an ``n x n`` switch.  Section 3.5 shows
+how to handle packets of *half* that size: build the shared buffer as **two**
+pipelined memories of ``n`` stages each.  Packets are ``n`` words; each packet
+lives entirely in one memory.  In each cycle one departure wave may initiate
+from whichever memory holds the wanted packet, and one store wave may
+initiate *into the other memory* — so the aggregate initiation rate doubles,
+exactly covering the doubled packet rate (one packet per ``n`` cycles per
+link).
+
+The model enforces the paper's discipline: at most one initiation per memory
+per cycle, at most one departure overall, at most one store overall; a
+cut-through wave (store + depart combined) fills both roles in one memory.
+Bank-port guards and output-register double-load checks are inherited from
+the single-memory components.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.arbiter import WriteRequest
+from repro.core.bank import MemoryBank
+from repro.core.control import ControlPipeline, ControlWord, WaveOp
+from repro.core.latches import InputLatchRow, OutputRegisterRow
+from repro.core.sources import PacketSink, PacketSource, deterministic_payload
+from repro.sim.packet import Packet, Word
+from repro.sim.stats import Counter, SwitchStats
+
+
+@dataclass(slots=True)
+class SplitBufferConfig:
+    """Configuration: ``n x n`` switch, packets of ``n`` words, two memories
+    of ``addresses_each`` packets each."""
+
+    n: int
+    addresses_each: int = 128
+    width_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"need n >= 2, got {self.n}")
+        if self.addresses_each < 1:
+            raise ValueError(f"need >= 1 address per memory, got {self.addresses_each}")
+
+    @property
+    def packet_words(self) -> int:
+        return self.n  # half the 2n quantum
+
+    @property
+    def buffer_bits(self) -> int:
+        return 2 * self.n * self.addresses_each * self.width_bits
+
+
+@dataclass(slots=True)
+class _Record:
+    uid: int
+    src: int
+    dst: int
+    mem: int  # 0 or 1
+    addr: int
+    arrival_cycle: int
+    write_init: int
+
+
+@dataclass(slots=True)
+class _SplitInput:
+    incoming: Packet | None = None
+    next_word: int = 0
+    pending: WriteRequest | None = None
+    discard_current: bool = False
+
+
+class SplitPipelinedBuffer:
+    """An ``n x n`` switch over two half-depth pipelined memories (§3.5)."""
+
+    def __init__(self, config: SplitBufferConfig, source: PacketSource) -> None:
+        if source.n_out != config.n or source.packet_words != config.packet_words:
+            raise ValueError("source/switch shape mismatch")
+        self.config = config
+        self.source = source
+        n = config.n
+        self.banks = [
+            [
+                MemoryBank(config.addresses_each, config.width_bits, name=f"M{m}.{k}")
+                for k in range(n)
+            ]
+            for m in range(2)
+        ]
+        self.control = [ControlPipeline(n) for _ in range(2)]
+        self.in_latches = [InputLatchRow(i, n) for i in range(n)]
+        self.out_rows = [OutputRegisterRow(n) for _ in range(2)]
+        self.free = [deque(range(config.addresses_each)) for _ in range(2)]
+        self.queues: list[deque[_Record]] = [deque() for _ in range(n)]
+        self.sinks = [PacketSink(j, n) for j in range(n)]
+        self._departing: list[dict[int, _Record]] = [{}, {}]
+        self._sent: dict[int, Packet] = {}
+        self._inputs = [_SplitInput() for _ in range(n)]
+        self.next_wave_ok = [0] * n
+        self.cycle = 0
+        self.stats = SwitchStats(n_outputs=n)
+        self.ct_latency = Counter()
+        self.cut_through_waves = 0
+        self.plain_read_waves = 0
+        self.write_waves = 0
+        self.drops = 0
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def warmup(self) -> int:
+        return self.stats.warmup
+
+    @warmup.setter
+    def warmup(self, cycles: int) -> None:
+        self.stats.warmup = cycles
+
+    def run(self, cycles: int) -> SwitchStats:
+        for _ in range(cycles):
+            self.tick()
+        return self.stats
+
+    def occupancy(self) -> int:
+        return sum(
+            self.config.addresses_each - len(f) for f in self.free
+        )
+
+    @property
+    def link_utilization(self) -> float:
+        cycles = self.stats.measured_slots
+        if cycles <= 0:
+            return math.nan
+        return self.stats.delivered * self.config.n / (cycles * self.config.n)
+
+    # -- one cycle ------------------------------------------------------------
+    def tick(self) -> None:
+        t = self.cycle
+        self._deliver(t)
+        for cp in self.control:
+            cp.advance()
+        self._arbitrate(t)
+        self._execute(t)
+        self._arrivals(t)
+        for row in self.out_rows:
+            row.commit()
+        self.cycle = t + 1
+        self.stats.horizon = self.cycle
+
+    # -- phase 1: outputs -------------------------------------------------------
+    def _deliver(self, t: int) -> None:
+        n = self.config.n
+        for row in self.out_rows:
+            for k in range(n):
+                driving = row.driving(k)
+                if driving is None:
+                    continue
+                word, link = driving
+                self.sinks[link].deliver(t, word.packet_uid, word.index, word.payload)
+                if word.index == n - 1:
+                    self._complete(t, link, word.packet_uid)
+
+    def _complete(self, t: int, link: int, uid: int) -> None:
+        packet = self._sent.pop(uid, None)
+        if packet is None:
+            raise AssertionError(f"unknown packet {uid} delivered")
+        sent_uid, head_cycle, payload = self.sinks[link].delivered[-1]
+        if sent_uid != uid or payload != packet.payload or packet.dst != link:
+            raise AssertionError(f"split buffer corrupted packet {uid}")
+        packet.depart_first_cycle = head_cycle
+        packet.depart_last_cycle = t
+        self.stats.record_departure(link, packet.arrival_cycle, head_cycle)
+        if packet.arrival_cycle >= self.stats.warmup:
+            self.ct_latency.add(packet.cut_through_latency)
+
+    # -- phase 2: arbitration ------------------------------------------------------
+    def _arbitrate(self, t: int) -> None:
+        n = self.config.n
+        used_mem = [False, False]
+        departed = False
+        stored: WriteRequest | None = None
+
+        # Departure role: round-robin over free outputs with queued packets;
+        # else a cut-through candidate (combined wave).
+        for off in range(n):
+            j = (t + off) % n
+            if self.next_wave_ok[j] > t:
+                continue
+            if self.queues[j]:
+                rec = self.queues[j].popleft()
+                self.control[rec.mem].initiate(
+                    ControlWord(WaveOp.READ, rec.addr, out_link=j, packet_uid=rec.uid)
+                )
+                self._departing[rec.mem][rec.addr] = rec
+                used_mem[rec.mem] = True
+                self.next_wave_ok[j] = t + n
+                self.plain_read_waves += 1
+                departed = True
+                break
+        if not departed:
+            ct = self._ct_candidate(t)
+            if ct is not None:
+                w, mem = ct
+                rec = self._allocate(mem, w, t)
+                self.control[mem].initiate(
+                    ControlWord(
+                        WaveOp.WRITE_CT, rec.addr, in_link=w.in_link,
+                        out_link=w.dst, packet_uid=w.uid,
+                    )
+                )
+                self._departing[mem][rec.addr] = rec
+                used_mem[mem] = True
+                self.next_wave_ok[w.dst] = t + n
+                self._inputs[w.in_link].pending = None
+                self.stats.record_accept(w.arrival_cycle)
+                self.cut_through_waves += 1
+                stored = w  # fills the store role too
+
+        # Store role: earliest-deadline pending write into a free memory.
+        if stored is None:
+            writes = [
+                s.pending
+                for s in self._inputs
+                if s.pending is not None and s.pending.earliest <= t
+            ]
+            if writes:
+                w = min(writes, key=lambda w: (w.arrival_cycle, w.in_link))
+                mem = self._pick_store_memory(used_mem)
+                if mem is not None:
+                    rec = self._allocate(mem, w, t)
+                    self.control[mem].initiate(
+                        ControlWord(
+                            WaveOp.WRITE, rec.addr, in_link=w.in_link,
+                            packet_uid=w.uid,
+                        )
+                    )
+                    self.queues[w.dst].append(rec)
+                    self._inputs[w.in_link].pending = None
+                    self.stats.record_accept(w.arrival_cycle)
+                    self.write_waves += 1
+
+    def _ct_candidate(self, t: int) -> tuple[WriteRequest, int] | None:
+        best: WriteRequest | None = None
+        for s in self._inputs:
+            w = s.pending
+            if w is None or w.earliest > t:
+                continue
+            if self.next_wave_ok[w.dst] > t or self.queues[w.dst]:
+                continue
+            if best is None or w.arrival_cycle < best.arrival_cycle:
+                best = w
+        if best is None:
+            return None
+        mem = self._pick_store_memory([False, False])
+        if mem is None:
+            return None
+        return best, mem
+
+    def _pick_store_memory(self, used: list[bool]) -> int | None:
+        """Free memory with a spare address; prefer the emptier one."""
+        options = [
+            m for m in range(2) if not used[m] and self.free[m]
+        ]
+        if not options:
+            return None
+        return max(options, key=lambda m: len(self.free[m]))
+
+    def _allocate(self, mem: int, w: WriteRequest, t: int) -> _Record:
+        addr = self.free[mem].popleft()
+        return _Record(
+            uid=w.uid, src=w.in_link, dst=w.dst, mem=mem, addr=addr,
+            arrival_cycle=w.arrival_cycle, write_init=t,
+        )
+
+    # -- phase 3: execute ------------------------------------------------------------
+    def _execute(self, t: int) -> None:
+        n = self.config.n
+        for m in range(2):
+            for k, cw in self.control[m].active():
+                bank = self.banks[m][k]
+                if cw.op in (WaveOp.WRITE, WaveOp.WRITE_CT):
+                    word = self.in_latches[cw.in_link].consume(k)
+                    if word.packet_uid != cw.packet_uid:
+                        raise AssertionError(
+                            f"memory {m} stage {k}: latch overrun undetected"
+                        )
+                    bank.write(t, cw.addr, word)
+                    if cw.op is WaveOp.WRITE_CT:
+                        self.out_rows[m].load(k, word, cw.out_link)
+                else:
+                    word = bank.read(t, cw.addr)
+                    self.out_rows[m].load(k, word, cw.out_link)
+                if k == n - 1:
+                    if cw.op is WaveOp.WRITE:
+                        # Store completed: the packet is now departure-ready.
+                        pass
+                    else:
+                        rec = self._departing[m].pop(cw.addr)
+                        self.free[m].append(rec.addr)
+
+    # -- phase 4: arrivals --------------------------------------------------------------
+    def _arrivals(self, t: int) -> None:
+        n = self.config.n
+        for i, state in enumerate(self._inputs):
+            if state.incoming is None:
+                dst = self.source.maybe_start(t, i)
+                if dst is None:
+                    continue
+                if state.pending is not None:
+                    self._drop(t, i, state.pending)
+                pkt = Packet(src=i, dst=dst, payload=(), arrival_cycle=t)
+                pkt.payload = deterministic_payload(pkt.uid, n, self.config.width_bits)
+                state.incoming = pkt
+                state.next_word = 0
+                state.discard_current = False
+                state.pending = WriteRequest(
+                    in_link=i, dst=dst, uid=pkt.uid, arrival_cycle=t
+                )
+                self._sent[pkt.uid] = pkt
+                self.stats.record_offer(t)
+            pkt = state.incoming
+            assert pkt is not None
+            k = state.next_word
+            self.in_latches[i].load(k, Word(pkt.uid, k, pkt.payload[k]))
+            if state.discard_current:
+                self.in_latches[i].discard(k)
+            state.next_word = k + 1
+            if state.next_word == n:
+                state.incoming = None
+                state.next_word = 0
+                state.discard_current = False
+
+    def _drop(self, t: int, i: int, w: WriteRequest) -> None:
+        state = self._inputs[i]
+        state.pending = None
+        self.stats.record_drop(w.arrival_cycle)
+        self.drops += 1
+        self._sent.pop(w.uid, None)
+        arrived = min(t - w.arrival_cycle, self.config.n)
+        for k in range(arrived):
+            self.in_latches[i].discard(k)

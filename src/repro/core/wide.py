@@ -1,0 +1,323 @@
+"""Wide-memory shared-buffer switch — the baseline of paper figure 3.
+
+This is the organization of the authors' earlier design [KaSC91]: the shared
+buffer is a single memory of width ``B*w`` bits (one whole packet per memory
+word), performing one whole-packet access per cycle.  Its costs, which the
+pipelined memory removes, are modeled explicitly:
+
+* **input double buffering** — a packet can only be written to the wide
+  memory after it has fully assembled, and the write slot cannot be
+  guaranteed on time (arrivals are not synchronized), so each input needs an
+  assembly row *and* a staging row of latches;
+* **no cut-through through the memory** — a store-and-forward penalty of a
+  full packet time (``B`` cycles), unless the extra cut-through crossbar
+  (the additional tristate drivers, bus wires and output crossbar of
+  figure 3) is enabled;
+* **output double buffering** — a packet is read wholesale into an output
+  staging row, then shifted out word by word.
+
+Bench E11 runs this model head-to-head against
+:class:`~repro.core.switch.PipelinedSwitch`: same traffic, same capacity —
+wide(no-CT) pays ≈``B`` extra cycles of latency; wide(CT) matches pipelined
+latency but needs the extra crossbar, which :mod:`repro.vlsi.comparisons`
+prices in silicon area.
+
+Timeline conventions match the pipelined model: a word "arrives during cycle
+t" (latched at the end of t); the minimum head-in to head-out latency of the
+cut-through path is 2 cycles, and of the store-and-forward path ``B + 2``
+cycles — the difference is exactly one packet time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.sources import PacketSink, PacketSource, deterministic_payload
+from repro.sim.packet import Packet
+from repro.sim.stats import Counter, Histogram, SwitchStats
+
+
+@dataclass(slots=True)
+class WideSwitchConfig:
+    """Configuration of the wide-memory switch.
+
+    ``depth`` is the packet size in words (= the wide-memory width in link
+    words); it defaults to ``2n`` so the two organizations buffer identical
+    packets and capacities are comparable address-for-address.
+    """
+
+    n: int
+    addresses: int = 256
+    width_bits: int = 16
+    depth: int | None = None
+    cut_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need n >= 1, got {self.n}")
+        if self.depth is None:
+            self.depth = 2 * self.n
+        if self.depth < 2:
+            raise ValueError(f"packet must be >= 2 words, got {self.depth}")
+        if self.addresses < 1:
+            raise ValueError(f"need >= 1 buffer address, got {self.addresses}")
+
+    @property
+    def packet_words(self) -> int:
+        return self.depth
+
+
+@dataclass(slots=True)
+class _WideInput:
+    assembling: Packet | None = None
+    next_word: int = 0
+    staged: Packet | None = None  # double buffer: complete, awaiting memory
+    staged_at: int = -1
+    ct_uid: int | None = None  # uid of the assembling packet that cut through
+
+
+@dataclass(slots=True)
+class _WideOutput:
+    sending: Packet | None = None  # shifting out of the staging row
+    send_idx: int = 0
+    staged: Packet | None = None  # read from memory, awaiting the link
+    ct_packet: Packet | None = None  # arriving via the cut-through crossbar
+    ct_started: int = -1  # arrival cycle of the cut-through packet
+
+
+class WideMemorySwitch:
+    """Word-level wide-memory shared-buffer switch (paper figure 3)."""
+
+    def __init__(self, config: WideSwitchConfig, source: PacketSource) -> None:
+        if source.n_out != config.n:
+            raise ValueError(
+                f"source targets {source.n_out} outputs, switch has {config.n}"
+            )
+        if source.packet_words != config.packet_words:
+            raise ValueError(
+                f"source packets are {source.packet_words} words, switch "
+                f"needs {config.packet_words}"
+            )
+        self.config = config
+        self.source = source
+        n = config.n
+        self._mem: dict[int, Packet] = {}  # addr -> stored packet
+        self._addr_of: dict[int, int] = {}  # uid -> addr
+        self._free: deque[int] = deque(range(config.addresses))
+        self.queues: list[deque[Packet]] = [deque() for _ in range(n)]
+        self._inputs = [_WideInput() for _ in range(n)]
+        self._outputs = [_WideOutput() for _ in range(n)]
+        self.sinks = [PacketSink(j, config.packet_words) for j in range(n)]
+        self._sent: dict[int, Packet] = {}
+        self.cycle = 0
+        self.stats = SwitchStats(n_outputs=n)
+        self.ct_latency = Counter()  # head-in -> head-out
+        self.ct_latency_hist = Histogram()
+        self.total_latency = Counter()
+        self.memory_reads = 0
+        self.memory_writes = 0
+        self.cut_throughs = 0
+        self.staging_drops = 0
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def warmup(self) -> int:
+        return self.stats.warmup
+
+    @warmup.setter
+    def warmup(self, cycles: int) -> None:
+        self.stats.warmup = cycles
+
+    def run(self, cycles: int) -> SwitchStats:
+        for _ in range(cycles):
+            self.tick()
+        return self.stats
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        real = self.source
+        try:
+            self.source = _Mute(real)
+            start = self.cycle
+            while not self.is_empty():
+                if self.cycle - start > max_cycles:
+                    raise RuntimeError("wide switch failed to drain")
+                self.tick()
+            return self.cycle - start
+        finally:
+            self.source = real
+
+    def is_empty(self) -> bool:
+        return (
+            not self._mem
+            and all(s.assembling is None and s.staged is None for s in self._inputs)
+            and all(
+                o.sending is None and o.staged is None and o.ct_packet is None
+                for o in self._outputs
+            )
+        )
+
+    @property
+    def link_utilization(self) -> float:
+        cycles = self.stats.measured_slots
+        if cycles <= 0:
+            return math.nan
+        return (
+            self.stats.delivered * self.config.packet_words
+            / (cycles * self.config.n)
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._mem)
+
+    # -- one clock cycle ---------------------------------------------------------
+    def tick(self) -> None:
+        t = self.cycle
+        self._drive_outputs(t)
+        self._memory_op(t)
+        self._accept_arrivals(t)
+        self.cycle = t + 1
+        self.stats.horizon = self.cycle
+
+    # -- phase 1: output links drive one word each ----------------------------------
+    def _drive_outputs(self, t: int) -> None:
+        b = self.config.packet_words
+        for j, out in enumerate(self._outputs):
+            if out.ct_packet is not None:
+                # Cut-through crossbar path: word k leaves at ct_started+2+k.
+                k = t - (out.ct_started + 2)
+                if k < 0:
+                    continue
+                pkt = out.ct_packet
+                self.sinks[j].deliver(t, pkt.uid, k, pkt.payload[k])
+                if k == 0:
+                    pkt.depart_first_cycle = t
+                if k == b - 1:
+                    pkt.depart_last_cycle = t
+                    self._finish(j, pkt)
+                    out.ct_packet = None
+                continue
+            if out.sending is None and out.staged is not None:
+                out.sending = out.staged  # double-buffer handoff
+                out.staged = None
+                out.send_idx = 0
+            if out.sending is not None:
+                pkt = out.sending
+                self.sinks[j].deliver(t, pkt.uid, out.send_idx, pkt.payload[out.send_idx])
+                if out.send_idx == 0:
+                    pkt.depart_first_cycle = t
+                out.send_idx += 1
+                if out.send_idx == b:
+                    pkt.depart_last_cycle = t
+                    self._finish(j, pkt)
+                    out.sending = None
+                    out.send_idx = 0
+
+    def _finish(self, j: int, pkt: Packet) -> None:
+        sent = self._sent.pop(pkt.uid, None)
+        if sent is None or sent.payload != pkt.payload or pkt.dst != j:
+            raise AssertionError(f"wide switch corrupted packet {pkt.uid}")
+        self.stats.record_departure(j, pkt.arrival_cycle, pkt.depart_first_cycle)
+        if pkt.arrival_cycle >= self.stats.warmup:
+            self.ct_latency.add(pkt.cut_through_latency)
+            self.ct_latency_hist.add(pkt.cut_through_latency)
+            self.total_latency.add(pkt.total_latency)
+
+    # -- phase 2: the single wide-memory port ------------------------------------------
+    def _memory_op(self, t: int) -> None:
+        # Reads first (priority to the outgoing links, as in the pipelined
+        # switch): fill an empty output staging row from a nonempty queue.
+        for j, out in enumerate(self._outputs):
+            if out.staged is not None or out.ct_packet is not None:
+                continue
+            if not self.queues[j]:
+                continue
+            pkt = self.queues[j].popleft()
+            addr = self._addr_of.pop(pkt.uid)
+            del self._mem[addr]
+            self._free.append(addr)
+            out.staged = pkt
+            self.memory_reads += 1
+            return
+        # Otherwise one write: earliest-staged packet first.
+        best: _WideInput | None = None
+        for inp in self._inputs:
+            if inp.staged is not None and (best is None or inp.staged_at < best.staged_at):
+                best = inp
+        if best is None or not self._free:
+            # Nothing to write, or buffer full — the staged packet waits and
+            # is lost only if the next packet finishes assembling first.
+            return
+        pkt = best.staged
+        assert pkt is not None
+        addr = self._free.popleft()
+        self._addr_of[pkt.uid] = addr
+        self._mem[addr] = pkt
+        self.queues[pkt.dst].append(pkt)
+        best.staged = None
+        self.stats.record_accept(pkt.arrival_cycle)
+        self.memory_writes += 1
+
+    # -- phase 3: word arrivals -----------------------------------------------------------
+    def _accept_arrivals(self, t: int) -> None:
+        b = self.config.packet_words
+        for i, inp in enumerate(self._inputs):
+            if inp.assembling is None:
+                dst = self.source.maybe_start(t, i)
+                if dst is None:
+                    continue
+                if not 0 <= dst < self.config.n:
+                    raise ValueError(f"source produced bad destination {dst}")
+                pkt = Packet(src=i, dst=dst, payload=(), arrival_cycle=t)
+                pkt.payload = deterministic_payload(pkt.uid, b, self.config.width_bits)
+                inp.assembling = pkt
+                inp.next_word = 0
+                self._sent[pkt.uid] = pkt
+                self.stats.record_offer(t)
+                self._try_cut_through(t, i, pkt)
+            inp.next_word += 1
+            if inp.next_word == b:
+                pkt = inp.assembling
+                assert pkt is not None
+                inp.assembling = None
+                inp.next_word = 0
+                if inp.ct_uid == pkt.uid:
+                    inp.ct_uid = None
+                    continue  # cut-through packets bypass the memory entirely
+                if inp.staged is not None:
+                    # Double-buffer overrun: the previous packet never got a
+                    # memory-write slot within a packet time — it is lost.
+                    lost = inp.staged
+                    self._sent.pop(lost.uid, None)
+                    self.stats.record_drop(lost.arrival_cycle)
+                    self.staging_drops += 1
+                inp.staged = pkt
+                inp.staged_at = t
+
+    def _try_cut_through(self, t: int, i: int, pkt: Packet) -> None:
+        if not self.config.cut_through:
+            return
+        out = self._outputs[pkt.dst]
+        if (
+            out.sending is None
+            and out.staged is None
+            and out.ct_packet is None
+            and not self.queues[pkt.dst]
+        ):
+            out.ct_packet = pkt
+            out.ct_started = t
+            self._inputs[i].ct_uid = pkt.uid
+            self.stats.record_accept(pkt.arrival_cycle)
+            self.cut_throughs += 1
+
+
+class _Mute(PacketSource):
+    """Silent source used while draining."""
+
+    def __init__(self, inner: PacketSource) -> None:
+        super().__init__(inner.n_out, inner.packet_words, inner.width_bits)
+
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        return None

@@ -1,0 +1,5 @@
+"""Multistage fabrics built from single-chip switch elements (paper intro)."""
+
+from repro.fabric.multistage import FabricCell, OmegaFabric, perfect_shuffle
+
+__all__ = ["OmegaFabric", "FabricCell", "perfect_shuffle"]

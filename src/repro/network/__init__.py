@@ -1,0 +1,6 @@
+"""Wormhole-network substrate for the [Dally90] comparison (bench E2)."""
+
+from repro.network.topology import KAryNCube, Port
+from repro.network.wormhole import Flit, Lane, Message, WormholeNetwork
+
+__all__ = ["KAryNCube", "Port", "WormholeNetwork", "Message", "Flit", "Lane"]

@@ -1,0 +1,131 @@
+"""k-ary n-cube topologies and dimension-order routing.
+
+Substrate for the paper's §2.1 wormhole citation ([Dally90] figure 8): input
+queueing degrades catastrophically "with multi-flit packets in wormhole
+routing" — 20-flit messages against 16-flit buffers saturate near 25 % of
+link capacity with a single lane, and virtual channels (lanes) recover the
+loss.  We reproduce that on a k-ary n-cube with deterministic e-cube
+(dimension-order) routing, as in Dally's study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Port:
+    """One unidirectional inter-node channel: move along ``dim`` in ``sign``."""
+
+    dim: int
+    sign: int  # +1 or -1
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1, 1):
+            raise ValueError(f"sign must be +/-1, got {self.sign}")
+
+
+class KAryNCube:
+    """A k-ary n-cube: ``k**n`` nodes, up to ``2n`` channels per node.
+
+    ``wrap=True`` gives the torus; the default is the *mesh* (no wraparound
+    links), on which dimension-order routing is deadlock-free — torus rings
+    deadlock under single-lane wormhole routing, which is exactly the
+    problem [Dally90]'s virtual channels were invented to solve.  The E2
+    bench therefore runs on the mesh, where the lane count isolates the
+    buffer-organization effect the paper cites.
+    """
+
+    def __init__(self, k: int, n: int, wrap: bool = False) -> None:
+        if k < 2 or n < 1:
+            raise ValueError(f"need k >= 2 and n >= 1, got k={k}, n={n}")
+        self.k = k
+        self.n = n
+        self.wrap = wrap
+        self.num_nodes = k**n
+        self.ports = [Port(d, s) for d in range(n) for s in (+1, -1)]
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        out = []
+        for _ in range(self.n):
+            node, c = divmod(node, self.k)
+            out.append(c)
+        return tuple(out)
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        if len(coords) != self.n:
+            raise ValueError(f"need {self.n} coordinates, got {len(coords)}")
+        node = 0
+        for c in reversed(coords):
+            if not 0 <= c < self.k:
+                raise ValueError(f"coordinate {c} out of range")
+            node = node * self.k + c
+        return node
+
+    def neighbor(self, node: int, port: Port) -> int:
+        c = list(self.coords(node))
+        nxt = c[port.dim] + port.sign
+        if self.wrap:
+            nxt %= self.k
+        elif not 0 <= nxt < self.k:
+            raise ValueError(f"no {port} link at mesh edge node {node}")
+        c[port.dim] = nxt
+        return self.node_at(tuple(c))
+
+    def route_dimension_order(self, node: int, dst: int) -> Port | None:
+        """Next hop under e-cube routing; ``None`` when node == dst.
+
+        Corrects the lowest unmatched dimension first, taking the shorter
+        way around the ring (ties go the positive direction).
+        """
+        if node == dst:
+            return None
+        cur = self.coords(node)
+        target = self.coords(dst)
+        for d in range(self.n):
+            if cur[d] == target[d]:
+                continue
+            if not self.wrap:
+                return Port(d, +1 if target[d] > cur[d] else -1)
+            fwd = (target[d] - cur[d]) % self.k
+            bwd = (cur[d] - target[d]) % self.k
+            return Port(d, +1 if fwd <= bwd else -1)
+        raise AssertionError("unreachable: coords equal but nodes differ")
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Dimension-order path length."""
+        a, b = self.coords(src), self.coords(dst)
+        total = 0
+        for d in range(self.n):
+            if self.wrap:
+                fwd = (b[d] - a[d]) % self.k
+                total += min(fwd, self.k - fwd)
+            else:
+                total += abs(b[d] - a[d])
+        return total
+
+    def average_hops(self) -> float:
+        """Mean dimension-order distance over uniform random (src, dst) pairs
+        (including src == dst): ~k/4 per dimension for even k."""
+        if self.wrap:
+            per_dim = sum(min(i, self.k - i) for i in range(self.k)) / self.k
+        else:
+            k = self.k
+            per_dim = sum(
+                abs(i - j) for i in range(k) for j in range(k)
+            ) / (k * k)
+        return self.n * per_dim
+
+    def channels_per_node(self) -> float:
+        """Average unidirectional channels per node (mesh edges have fewer)."""
+        if self.wrap:
+            return 2.0 * self.n
+        return 2.0 * self.n * (self.k - 1) / self.k
+
+    def capacity_message_rate(self, message_flits: int) -> float:
+        """Messages/node/cycle at 100 % channel utilization under uniform
+        traffic: ``channels / (avg_hops * flits)`` — the normalization used
+        for the "fraction of capacity" axis of [Dally90 fig 8]."""
+        return self.channels_per_node() / (self.average_hops() * message_flits)

@@ -1,0 +1,360 @@
+"""Flit-level wormhole routing with virtual-channel lanes [Dally90].
+
+Wormhole flow control: a message's header flit allocates one *lane* (virtual
+channel buffer) on each hop's input port; body flits follow the header
+through the held lanes; the tail releases them.  When a header blocks, the
+whole worm stalls in place, holding its lanes — with a single lane per port a
+blocked worm blocks every other message needing those channels, which is why
+input-queue-style buffering saturates so early with multi-flit messages
+(paper §2.1).  Multiple lanes per port let other worms interleave past a
+blocked one, recovering throughput: the [Dally90 fig 8] comparison
+reproduced by bench E2.
+
+Physical channel multiplexing: each (node, port) pair transmits at most one
+flit per cycle, shared round-robin among its lanes — Dally's model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.topology import KAryNCube, Port
+from repro.sim.rng import make_rng
+from repro.sim.stats import Counter
+
+_message_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """A multi-flit wormhole message."""
+
+    src: int
+    dst: int
+    length: int
+    created: int  # cycle the message was queued at the source
+    injected: int = -1  # cycle the header entered the network
+    delivered: int = -1  # cycle the tail reached the destination
+    # Dateline virtual-channel state ([Dally90]'s deadlock-avoidance scheme
+    # for torus rings): class 0 until the worm crosses a ring's wraparound
+    # edge, class 1 after; reset on entering a new dimension.
+    vc_class: int = 0
+    current_dim: int = -1
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+
+@dataclass(slots=True)
+class Flit:
+    msg: Message
+    index: int
+    last_moved: int = -1  # guards against multi-hop-per-cycle artifacts
+
+    @property
+    def is_head(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.msg.length - 1
+
+
+class Lane:
+    """One virtual-channel buffer on an input port (or the injection port)."""
+
+    __slots__ = ("capacity", "flits", "out_port", "downstream", "reserved", "name")
+
+    def __init__(self, capacity: int, name: str) -> None:
+        if capacity < 1:
+            raise ValueError(f"lane needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self.flits: deque[Flit] = deque()
+        self.out_port: Port | None = None  # route held by the current worm
+        self.downstream: "Lane | None" = None  # allocated next-hop lane
+        self.reserved = False  # an upstream worm holds this lane
+        self.name = name
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self.flits)
+
+    @property
+    def busy(self) -> bool:
+        """A worm currently owns this lane (allocated and not yet drained).
+
+        ``reserved`` is what makes lane allocation exclusive: it is set the
+        moment an upstream header claims the lane — before any flit arrives —
+        and cleared when that worm's tail leaves this lane.  Without it two
+        worms could interleave into one lane, corrupting both (and, in
+        practice, deadlocking the network).
+        """
+        return (
+            self.reserved
+            or self.out_port is not None
+            or self.downstream is not None
+            or bool(self.flits)
+        )
+
+
+class WormholeNetwork:
+    """A k-ary n-cube of wormhole routers with ``lanes`` virtual channels.
+
+    Parameters
+    ----------
+    buffer_flits:
+        Total buffering per input port, split evenly among the lanes
+        (Dally's fig 8 setting: 16 flits; so 1 lane of 16, 2 of 8, ...).
+    message_flits:
+        Message length (fig 8: 20 flits — *larger* than the buffers).
+    load:
+        Offered load as a fraction of network capacity (uniform traffic).
+    """
+
+    def __init__(
+        self,
+        topology: KAryNCube,
+        lanes: int = 1,
+        buffer_flits: int = 16,
+        message_flits: int = 20,
+        load: float = 0.5,
+        seed: int | np.random.Generator | None = None,
+        max_source_queue: int = 64,
+        dateline: bool = False,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"need >= 1 lane, got {lanes}")
+        if buffer_flits < lanes:
+            raise ValueError(
+                f"buffer_flits ({buffer_flits}) must cover {lanes} lanes"
+            )
+        if message_flits < 1:
+            raise ValueError(f"messages need >= 1 flit, got {message_flits}")
+        if not 0.0 <= load <= 2.0:
+            raise ValueError(f"load must be in [0, 2], got {load}")
+        if dateline and lanes < 2:
+            raise ValueError(
+                "the dateline scheme needs >= 2 lanes per port "
+                "(class-0 and class-1 virtual channels)"
+            )
+        self.dateline = dateline
+        self.topo = topology
+        self.lanes_per_port = lanes
+        self.lane_capacity = buffer_flits // lanes
+        self.message_flits = message_flits
+        self.load = load
+        self.rng = make_rng(seed)
+        self.injection_rate = load * topology.capacity_message_rate(message_flits)
+        self.max_source_queue = max_source_queue
+
+        # lanes[node][port] -> list of Lane; port index into topo.ports.
+        self.lanes: list[list[list[Lane]]] = [
+            [
+                [
+                    Lane(self.lane_capacity, f"n{v}.p{p}.l{l}")
+                    for l in range(lanes)
+                ]
+                for p in range(len(topology.ports))
+            ]
+            for v in range(topology.num_nodes)
+        ]
+        # Injection: one queue of waiting messages + an injection lane per node.
+        self.source_queues: list[deque[Message]] = [
+            deque() for _ in range(topology.num_nodes)
+        ]
+        self.injection_lanes = [
+            Lane(message_flits, f"n{v}.inject") for v in range(topology.num_nodes)
+        ]
+        self._port_index = {port: idx for idx, port in enumerate(topology.ports)}
+        self._rr = {}  # (node, port_idx or 'eject') -> round-robin pointer
+        self.cycle = 0
+        self.warmup = 0
+        # statistics
+        self.offered_messages = 0
+        self.refused_messages = 0  # source queue overflow (measures overload)
+        self.delivered_messages = 0
+        self.delivered_flits_measured = 0
+        self.latency = Counter()  # created -> tail delivered
+        self.network_latency = Counter()  # injected -> tail delivered
+
+    # -- injection -------------------------------------------------------------
+    def _generate_traffic(self, t: int) -> None:
+        n = self.topo.num_nodes
+        mask = self.rng.random(n) < self.injection_rate
+        dests = self.rng.integers(0, n, size=n)
+        for v in np.nonzero(mask)[0]:
+            v = int(v)
+            dst = int(dests[v])
+            if dst == v:
+                continue  # self-traffic never enters the network
+            if t >= self.warmup:
+                self.offered_messages += 1
+            if len(self.source_queues[v]) >= self.max_source_queue:
+                if t >= self.warmup:
+                    self.refused_messages += 1
+                continue
+            self.source_queues[v].append(
+                Message(src=v, dst=dst, length=self.message_flits, created=t)
+            )
+
+    def _feed_injection_lanes(self, t: int) -> None:
+        for v, lane in enumerate(self.injection_lanes):
+            if lane.busy or not self.source_queues[v]:
+                continue
+            msg = self.source_queues[v].popleft()
+            msg.injected = t
+            lane.flits.extend(Flit(msg, k) for k in range(msg.length))
+            lane.out_port = None  # routed when the header reaches the front
+
+    # -- per-hop machinery ----------------------------------------------------------
+    def _candidate_lanes(self, node: int) -> list[Lane]:
+        lanes = [self.injection_lanes[node]]
+        for port_lanes in self.lanes[node]:
+            lanes.extend(port_lanes)
+        return lanes
+
+    def _allocate_downstream(
+        self, node: int, lane: Lane, port: Port, msg: Message
+    ) -> bool:
+        """Try to grab a free lane on the next hop's matching input port.
+
+        With the dateline scheme enabled, the lane must belong to the worm's
+        current virtual-channel class: lanes [0, L/2) are class 0, lanes
+        [L/2, L) are class 1; a worm switches to class 1 on the hop that
+        crosses a ring's wraparound edge, which breaks the torus cycle
+        ([Dally90]).
+        """
+        nxt = self.topo.neighbor(node, port)
+        # The flit arrives on the port it *came from*, seen from the receiver:
+        # the input port at `nxt` for direction `port` is the opposite sign.
+        in_port = Port(port.dim, -port.sign)
+        in_idx = self._port_index[in_port]
+        candidates = self.lanes[nxt][in_idx]
+        if self.dateline:
+            if port.dim != msg.current_dim:
+                msg.current_dim = port.dim
+                msg.vc_class = 0
+            coord = self.topo.coords(node)[port.dim]
+            crossing = (port.sign == +1 and coord == self.topo.k - 1) or (
+                port.sign == -1 and coord == 0
+            )
+            vc_class = 1 if (crossing or msg.vc_class == 1) else 0
+            half = self.lanes_per_port // 2
+            candidates = candidates[half:] if vc_class else candidates[:half]
+            chosen_class = vc_class
+        else:
+            chosen_class = msg.vc_class  # unused, kept for symmetry
+        for cand in candidates:
+            if not cand.busy:
+                cand.reserved = True
+                lane.downstream = cand
+                if self.dateline:
+                    msg.vc_class = chosen_class
+                return True
+        return False
+
+    def _advance_node(self, t: int, node: int) -> None:
+        """Move at most one flit per output channel (incl. ejection)."""
+        # Gather head flits per desired output.
+        wants: dict[object, list[Lane]] = {}
+        for lane in self._candidate_lanes(node):
+            if not lane.flits:
+                continue
+            head = lane.flits[0]
+            if head.last_moved == t:
+                continue  # already advanced one hop this cycle
+            if head.is_head and lane.out_port is None and lane.downstream is None:
+                # Route the worm now (header at front of lane).
+                port = self.topo.route_dimension_order(node, head.msg.dst)
+                if port is None:
+                    wants.setdefault("eject", []).append(lane)
+                    continue
+                if self._allocate_downstream(node, lane, port, head.msg):
+                    lane.out_port = port
+                else:
+                    continue  # blocked: no free lane downstream
+            if lane.out_port is None and lane.downstream is None:
+                # Body flits whose worm has already ejected its header: the
+                # remaining flits continue to the sink.
+                wants.setdefault("eject", []).append(lane)
+                continue
+            wants.setdefault(self._port_index[lane.out_port], []).append(lane)
+
+        for key, lanes in wants.items():
+            ptr = self._rr.get((node, key), 0)
+            order = lanes[ptr % len(lanes):] + lanes[: ptr % len(lanes)]
+            moved = False
+            for lane in order:
+                if key == "eject":
+                    self._eject(t, node, lane)
+                    moved = True
+                else:
+                    down = lane.downstream
+                    assert down is not None
+                    if down.free_space < 1:
+                        continue  # no credit
+                    flit = lane.flits.popleft()
+                    flit.last_moved = t
+                    down.flits.append(flit)
+                    if flit.is_tail:
+                        lane.out_port = None
+                        lane.downstream = None
+                        lane.reserved = False
+                    moved = True
+                if moved:
+                    self._rr[(node, key)] = (ptr + 1) % max(len(lanes), 1)
+                    break
+
+    def _eject(self, t: int, node: int, lane: Lane) -> None:
+        flit = lane.flits.popleft()
+        msg = flit.msg
+        if flit.is_head:
+            lane.out_port = None
+            lane.downstream = None
+        if flit.is_tail:
+            lane.out_port = None
+            lane.downstream = None
+            lane.reserved = False
+            msg.delivered = t
+            if msg.created >= self.warmup:
+                self.delivered_messages += 1
+                self.delivered_flits_measured += msg.length
+                self.latency.add(t - msg.created)
+                if msg.injected >= 0:
+                    self.network_latency.add(t - msg.injected)
+
+    # -- main loop ----------------------------------------------------------------------
+    def tick(self) -> None:
+        t = self.cycle
+        self._generate_traffic(t)
+        self._feed_injection_lanes(t)
+        # Randomized node order each cycle avoids systematic bias.
+        for node in self.rng.permutation(self.topo.num_nodes):
+            self._advance_node(t, int(node))
+        self.cycle = t + 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.tick()
+
+    # -- derived metrics ---------------------------------------------------------------
+    def delivered_fraction_of_capacity(self) -> float:
+        """Delivered traffic as a fraction of network capacity."""
+        measured = self.cycle - self.warmup
+        if measured <= 0:
+            return float("nan")
+        rate = self.delivered_messages / (measured * self.topo.num_nodes)
+        return rate / self.topo.capacity_message_rate(self.message_flits)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "lanes": self.lanes_per_port,
+            "offered_fraction": self.load,
+            "delivered_fraction": self.delivered_fraction_of_capacity(),
+            "mean_latency": self.latency.mean,
+            "mean_network_latency": self.network_latency.mean,
+            "delivered_messages": self.delivered_messages,
+            "refused_messages": self.refused_messages,
+        }

@@ -1,0 +1,23 @@
+"""Simulation substrate: cycle kernel, packets, statistics, deterministic RNG."""
+
+from repro.sim.engine import Clocked, Engine, Register, ShiftPipeline
+from repro.sim.packet import Cell, Packet, Word, reset_packet_ids
+from repro.sim.rng import DEFAULT_SEED, make_rng, spawn
+from repro.sim.stats import Counter, Histogram, SwitchStats
+
+__all__ = [
+    "Clocked",
+    "Engine",
+    "Register",
+    "ShiftPipeline",
+    "Cell",
+    "Packet",
+    "Word",
+    "reset_packet_ids",
+    "DEFAULT_SEED",
+    "make_rng",
+    "spawn",
+    "Counter",
+    "Histogram",
+    "SwitchStats",
+]

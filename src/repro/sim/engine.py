@@ -1,0 +1,135 @@
+"""A minimal synchronous (cycle-driven) simulation kernel.
+
+The paper's hardware is fully synchronous: one global clock, every register
+updates on the clock edge.  We mirror that with a two-phase kernel:
+
+* **evaluate** phase: every component computes its next state from the
+  *current* outputs of the other components (combinational logic);
+* **commit** phase: every component atomically adopts its next state
+  (the clock edge).
+
+Components register with an :class:`Engine` and are evaluated in the order
+they were added; because evaluation may only read *committed* state of other
+components, the order does not affect results — tests in
+``tests/sim/test_engine.py`` verify this order-independence on a toy circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clocked(Protocol):
+    """Anything that participates in the two-phase clock."""
+
+    def evaluate(self, cycle: int) -> None:
+        """Compute next state from currently-committed state."""
+
+    def commit(self, cycle: int) -> None:
+        """Adopt the next state (clock edge)."""
+
+
+class Engine:
+    """Synchronous simulation kernel driving a set of :class:`Clocked` parts."""
+
+    def __init__(self) -> None:
+        self._components: list[Clocked] = []
+        self.cycle = 0
+
+    def add(self, component: Clocked) -> Clocked:
+        """Register a component; returns it for chaining."""
+        if not isinstance(component, Clocked):
+            raise TypeError(f"{component!r} does not implement evaluate/commit")
+        self._components.append(component)
+        return component
+
+    def tick(self) -> None:
+        """Advance the simulation by one clock cycle."""
+        cycle = self.cycle
+        for comp in self._components:
+            comp.evaluate(cycle)
+        for comp in self._components:
+            comp.commit(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise ValueError(f"cannot run a negative number of cycles: {cycles}")
+        for _ in range(cycles):
+            self.tick()
+
+
+class Register:
+    """A simple D-flip-flop holding one value; the canonical Clocked part.
+
+    ``q`` is the committed (visible) output; assign to ``d`` during the
+    evaluate phase.  If ``d`` is never assigned in a cycle the register holds
+    its value (like a flip-flop with a load-enable that was not asserted).
+    """
+
+    _HOLD = object()
+
+    def __init__(self, initial=None, name: str = "reg") -> None:
+        self.name = name
+        self.q = initial
+        self._d = Register._HOLD
+
+    @property
+    def d(self):
+        raise AttributeError("Register.d is write-only; read .q instead")
+
+    @d.setter
+    def d(self, value) -> None:
+        self._d = value
+
+    def evaluate(self, cycle: int) -> None:  # combinational inputs set .d externally
+        pass
+
+    def commit(self, cycle: int) -> None:
+        if self._d is not Register._HOLD:
+            self.q = self._d
+            self._d = Register._HOLD
+
+    def __repr__(self) -> str:
+        return f"Register({self.name}={self.q!r})"
+
+
+class ShiftPipeline:
+    """A chain of registers: the control-signal delay line of paper figure 5.
+
+    Stage 0's input is set each cycle via :meth:`push`; stage ``k`` sees the
+    value pushed ``k`` cycles ago.  This is exactly how the pipelined memory
+    derives the control of bank ``k`` from bank ``k-1``.
+    """
+
+    def __init__(self, depth: int, initial=None, name: str = "pipe") -> None:
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._stages: list = [initial] * depth
+        self._incoming = initial
+        self._initial = initial
+
+    def push(self, value) -> None:
+        """Set the value entering stage 0 at the next clock edge."""
+        self._incoming = value
+
+    def stage(self, k: int):
+        """Committed value currently held at stage ``k``."""
+        return self._stages[k]
+
+    def evaluate(self, cycle: int) -> None:
+        pass
+
+    def commit(self, cycle: int) -> None:
+        self._stages = [self._incoming] + self._stages[:-1]
+        self._incoming = self._initial
+
+    def __iter__(self):
+        return iter(self._stages)
+
+    def __repr__(self) -> str:
+        return f"ShiftPipeline({self.name}, depth={self.depth})"

@@ -1,0 +1,119 @@
+"""Packet and cell objects shared by all simulators in this repository.
+
+Two granularities are used throughout the reproduction:
+
+* *cell level* (``Cell``): the slotted models of :mod:`repro.switches` move one
+  fixed-size cell per link per time slot.  This is the granularity of the
+  queueing results the paper cites ([KaHM87], [HlKa88], [AOST93]).
+
+* *word level* (``Packet`` carrying :class:`Word` payloads): the RTL-flavoured
+  model of :mod:`repro.core` moves one ``w``-bit word per link per clock
+  cycle, which is the granularity at which the pipelined memory itself is
+  defined (paper figure 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Restart the global packet id counter (used by tests for determinism)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Cell:
+    """A fixed-size cell for slotted (one cell per slot) switch models.
+
+    Attributes
+    ----------
+    src:
+        Input port the cell arrived on.
+    dst:
+        Output port the cell is destined to.
+    arrival_slot:
+        Slot in which the cell arrived at the switch input.
+    depart_slot:
+        Slot in which the cell was put on its output link; ``-1`` until then.
+    tag:
+        Opaque payload attached by the caller; multistage fabrics
+        (:mod:`repro.fabric`) use it to carry the end-to-end cell identity
+        through per-stage switch elements.
+    uid:
+        Globally unique id, used for conservation checks in tests.
+    """
+
+    src: int
+    dst: int
+    arrival_slot: int
+    depart_slot: int = -1
+    tag: object = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def delay(self) -> int:
+        """Slots spent in the switch (departure - arrival)."""
+        if self.depart_slot < 0:
+            raise ValueError(f"cell {self.uid} has not departed yet")
+        return self.depart_slot - self.arrival_slot
+
+
+@dataclass(slots=True)
+class Word:
+    """One ``w``-bit word of a packet travelling through the word-level model.
+
+    ``payload`` is an arbitrary integer standing in for the ``w`` data bits;
+    the word-level simulator checks exact payload integrity end to end.
+    """
+
+    packet_uid: int
+    index: int
+    payload: int
+
+    def __repr__(self) -> str:  # compact: these appear in bus-conflict errors
+        return f"W(p{self.packet_uid}.{self.index}={self.payload:#x})"
+
+
+@dataclass(slots=True)
+class Packet:
+    """A multi-word packet for the word-level pipelined-memory model.
+
+    The pipelined memory requires ``len(payload)`` to be a multiple of the
+    buffer's pipeline depth (paper section 3.5); the switch model enforces
+    this at injection time.
+    """
+
+    src: int
+    dst: int
+    payload: tuple[int, ...]
+    arrival_cycle: int = -1  # cycle the *first* word entered the switch
+    depart_first_cycle: int = -1  # cycle the first word left on the output link
+    depart_last_cycle: int = -1  # cycle the last word left
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_words(self) -> int:
+        return len(self.payload)
+
+    def words(self) -> list[Word]:
+        """Materialize the packet as a list of :class:`Word` objects."""
+        return [Word(self.uid, i, p) for i, p in enumerate(self.payload)]
+
+    @property
+    def cut_through_latency(self) -> int:
+        """Cycles from head arrival to head departure (paper section 3.4)."""
+        if self.depart_first_cycle < 0:
+            raise ValueError(f"packet {self.uid} has not departed yet")
+        return self.depart_first_cycle - self.arrival_cycle
+
+    @property
+    def total_latency(self) -> int:
+        """Cycles from head arrival to tail departure."""
+        if self.depart_last_cycle < 0:
+            raise ValueError(f"packet {self.uid} has not departed yet")
+        return self.depart_last_cycle - self.arrival_cycle

@@ -1,0 +1,207 @@
+"""Statistics collectors for switch simulations.
+
+All simulators in :mod:`repro.switches`, :mod:`repro.core` and
+:mod:`repro.network` report through these collectors so that experiments
+compare like with like: identical warmup handling, identical delay
+definitions, identical throughput accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Counter:
+    """Streaming mean/variance/min/max accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-propagating
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (i.i.d. approximation)."""
+        if self.count < 2:
+            return math.nan
+        return self.stdev / math.sqrt(self.count)
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Integer-valued histogram with unbounded support (dict-backed)."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + weight
+        self.total += weight
+
+    def pmf(self) -> dict[int, float]:
+        if not self.total:
+            return {}
+        return {k: v / self.total for k, v in sorted(self.counts.items())}
+
+    def quantile(self, q: float) -> int:
+        """Smallest value v with P(X <= v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.total:
+            raise ValueError("empty histogram")
+        need = q * self.total
+        run = 0
+        for value in sorted(self.counts):
+            run += self.counts[value]
+            if run >= need:
+                return value
+        return max(self.counts)
+
+    @property
+    def mean(self) -> float:
+        if not self.total:
+            return math.nan
+        return sum(k * v for k, v in self.counts.items()) / self.total
+
+
+@dataclass(slots=True)
+class SwitchStats:
+    """Aggregate statistics for one simulated switch run.
+
+    The ``warmup`` horizon (in slots/cycles) excludes transient behaviour:
+    arrivals, departures and losses occurring before ``warmup`` are counted
+    separately and excluded from delay/throughput/loss figures.
+    """
+
+    n_outputs: int
+    warmup: int = 0
+    offered: int = 0  # cells/packets offered after warmup
+    accepted: int = 0  # admitted to a buffer after warmup
+    dropped: int = 0  # rejected for lack of buffer space after warmup
+    delivered: int = 0  # departed after warmup (and arrived after warmup)
+    delay: Counter = field(default_factory=Counter)
+    delay_hist: Histogram = field(default_factory=Histogram)
+    per_output_delivered: list[int] = field(default_factory=list)
+    horizon: int = 0  # last slot/cycle simulated (exclusive)
+
+    def __post_init__(self) -> None:
+        if not self.per_output_delivered:
+            self.per_output_delivered = [0] * self.n_outputs
+
+    # -- recording ---------------------------------------------------------
+    def record_offer(self, when: int) -> None:
+        if when >= self.warmup:
+            self.offered += 1
+
+    def record_accept(self, when: int) -> None:
+        if when >= self.warmup:
+            self.accepted += 1
+
+    def record_drop(self, when: int) -> None:
+        if when >= self.warmup:
+            self.dropped += 1
+
+    def record_departure(self, dst: int, arrival: int, departure: int) -> None:
+        # Throughput counts every departure in the measurement window —
+        # under saturation most departures are of cells that arrived long
+        # before, and excluding them would bias throughput down.
+        if departure >= self.warmup:
+            self.delivered += 1
+            self.per_output_delivered[dst] += 1
+        # Delay statistics are restricted to post-warmup arrivals so the
+        # transient (e.g. initially empty queues) does not contaminate them.
+        if arrival >= self.warmup:
+            d = departure - arrival
+            self.delay.add(d)
+            self.delay_hist.add(d)
+
+    # -- derived figures ----------------------------------------------------
+    @property
+    def measured_slots(self) -> int:
+        return max(self.horizon - self.warmup, 0)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered cells per output per slot (the paper's link utilization)."""
+        slots = self.measured_slots
+        if slots <= 0:
+            return math.nan
+        return self.delivered / (slots * self.n_outputs)
+
+    @property
+    def loss_probability(self) -> float:
+        if self.offered == 0:
+            return math.nan
+        return self.dropped / self.offered
+
+    @property
+    def mean_delay(self) -> float:
+        return self.delay.mean
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "throughput": self.throughput,
+            "loss_probability": self.loss_probability,
+            "mean_delay": self.mean_delay,
+            "p99_delay": (
+                float(self.delay_hist.quantile(0.99)) if self.delay_hist.total else math.nan
+            ),
+        }
+
+
+def occupancy_time_average(samples: list[int]) -> float:
+    """Time-averaged buffer occupancy from per-slot samples."""
+    if not samples:
+        return math.nan
+    return sum(samples) / len(samples)

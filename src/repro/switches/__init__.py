@@ -1,0 +1,41 @@
+"""Slot-level models of every switch-buffer architecture in the paper's §2."""
+
+from repro.switches.base import SlottedSwitch
+from repro.switches.block_crosspoint import BlockCrosspoint
+from repro.switches.crosspoint import CrosspointQueued
+from repro.switches.input_queued import FifoInputQueued
+from repro.switches.interleaved import InterleavedSharedBuffer
+from repro.switches.knockout import KnockoutSwitch
+from repro.switches.output_queued import OutputQueued
+from repro.switches.schedulers import (
+    GreedyMaximal,
+    Islip,
+    MaxSizeMatching,
+    PIM,
+    Scheduler,
+    TwoDimRoundRobin,
+)
+from repro.switches.shared_memory import SharedBuffer
+from repro.switches.speedup import SpeedupSwitch
+from repro.switches.voq import VoqInputBuffered
+from repro.switches.windowed import WindowedInputQueued
+
+__all__ = [
+    "SlottedSwitch",
+    "FifoInputQueued",
+    "VoqInputBuffered",
+    "WindowedInputQueued",
+    "OutputQueued",
+    "SharedBuffer",
+    "CrosspointQueued",
+    "BlockCrosspoint",
+    "SpeedupSwitch",
+    "InterleavedSharedBuffer",
+    "KnockoutSwitch",
+    "Scheduler",
+    "PIM",
+    "Islip",
+    "TwoDimRoundRobin",
+    "GreedyMaximal",
+    "MaxSizeMatching",
+]

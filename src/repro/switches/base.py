@@ -1,0 +1,119 @@
+"""Common machinery for slotted (cell-per-slot) switch models.
+
+These models operate at the granularity of the queueing literature the paper
+builds on: time is divided into slots; in each slot every input link delivers
+at most one fixed-size cell and every output link transmits at most one cell.
+
+Slot phasing (consistent across all architectures, so comparisons are fair):
+
+1. arrivals of the slot are admitted to buffers (or dropped);
+2. the architecture selects departures — a cell that arrived this very slot
+   may depart this slot (zero in-switch delay), which matches the convention
+   of [KaHM87] and makes the output-queue delay formula come out exactly.
+
+Subclasses implement :meth:`_admit` (buffer or drop one arriving cell) and
+:meth:`_select_departures` (pick at most one cell per output).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sim.packet import Cell
+from repro.sim.stats import SwitchStats
+from repro.traffic.base import TrafficSource
+
+
+class SlottedSwitch(ABC):
+    """Base class for all slot-level switch architectures."""
+
+    def __init__(self, n_in: int, n_out: int, warmup: int = 0) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError(f"need at least 1 input and 1 output, got {n_in}x{n_out}")
+        self.n_in = n_in
+        self.n_out = n_out
+        self.slot = 0
+        self.stats = SwitchStats(n_outputs=n_out, warmup=warmup)
+        self._occupancy_samples: list[int] = []
+        self.sample_occupancy = False
+
+    # -- architecture-specific hooks ----------------------------------------
+    @abstractmethod
+    def _admit(self, cell: Cell) -> bool:
+        """Buffer ``cell``; return ``False`` if it had to be dropped."""
+
+    @abstractmethod
+    def _select_departures(self) -> list[Cell | None]:
+        """Dequeue and return at most one cell per output for this slot."""
+
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Total cells currently buffered (all queues)."""
+
+    # -- driver ---------------------------------------------------------------
+    def step(
+        self, dests: list[int | None], tags: list[object] | None = None
+    ) -> list[Cell | None]:
+        """Advance one slot given per-input arrival destinations.
+
+        ``tags`` optionally attaches an opaque object to each arriving cell
+        (same indexing as ``dests``); it travels with the cell and comes
+        back on departure — multistage fabrics use this to follow a cell
+        through a cascade of switch elements.
+        """
+        if len(dests) != self.n_in:
+            raise ValueError(f"expected {self.n_in} arrival entries, got {len(dests)}")
+        if tags is not None and len(tags) != self.n_in:
+            raise ValueError(f"expected {self.n_in} tag entries, got {len(tags)}")
+        for src, dst in enumerate(dests):
+            if dst is None:
+                continue
+            if not 0 <= dst < self.n_out:
+                raise ValueError(f"destination {dst} out of range (n_out={self.n_out})")
+            cell = Cell(
+                src=src, dst=dst, arrival_slot=self.slot,
+                tag=tags[src] if tags is not None else None,
+            )
+            self.stats.record_offer(self.slot)
+            if self._admit(cell):
+                self.stats.record_accept(self.slot)
+            else:
+                self.stats.record_drop(self.slot)
+
+        departures = self._select_departures()
+        if len(departures) != self.n_out:
+            raise AssertionError(
+                f"{type(self).__name__} returned {len(departures)} departures, "
+                f"expected {self.n_out}"
+            )
+        for j, cell in enumerate(departures):
+            if cell is None:
+                continue
+            if cell.dst != j:
+                raise AssertionError(
+                    f"cell {cell.uid} destined to {cell.dst} departed on output {j}"
+                )
+            cell.depart_slot = self.slot
+            self.stats.record_departure(cell.dst, cell.arrival_slot, self.slot)
+
+        if self.sample_occupancy and self.slot >= self.stats.warmup:
+            self._occupancy_samples.append(self.occupancy())
+
+        self.slot += 1
+        self.stats.horizon = self.slot
+        return departures
+
+    def run(self, source: TrafficSource, slots: int) -> SwitchStats:
+        """Drive this switch with ``source`` for ``slots`` slots."""
+        if source.n_in != self.n_in or source.n_out != self.n_out:
+            raise ValueError(
+                f"source is {source.n_in}x{source.n_out}, "
+                f"switch is {self.n_in}x{self.n_out}"
+            )
+        for _ in range(slots):
+            self.step(source.arrivals(self.slot))
+        return self.stats
+
+    @property
+    def occupancy_samples(self) -> list[int]:
+        return self._occupancy_samples

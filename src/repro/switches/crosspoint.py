@@ -1,0 +1,80 @@
+"""Crosspoint queueing — one queue per (input, output) pair (paper §2.1).
+
+"Every outgoing link can now be kept busy ... independent of what the other
+links do": optimal link utilization, at the cost of ``n^2`` small buffers
+whose total capacity must be much larger than shared buffering for the same
+loss (the buffer-utilization disadvantage bench E3 quantifies via the shared
+vs output vs crosspoint sweep).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.sim.packet import Cell
+from repro.sim.rng import make_rng
+from repro.switches.base import SlottedSwitch
+
+
+class CrosspointQueued(SlottedSwitch):
+    """n_in x n_out crosspoint FIFOs, per-output round-robin service.
+
+    Parameters
+    ----------
+    capacity:
+        Per-crosspoint queue capacity in cells (``None`` = infinite).
+    service:
+        ``"round_robin"`` (default) or ``"oldest_first"`` — per output,
+        choose among its non-empty column of crosspoint queues.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        capacity: int | None = None,
+        service: str = "round_robin",
+        warmup: int = 0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_in, n_out, warmup)
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if service not in ("round_robin", "oldest_first"):
+            raise ValueError(f"unknown service discipline {service!r}")
+        self.capacity = capacity
+        self.service = service
+        self.queues: list[list[deque[Cell]]] = [
+            [deque() for _ in range(n_out)] for _ in range(n_in)
+        ]
+        self._rr = [0] * n_out
+        self.rng = make_rng(seed)
+
+    def _admit(self, cell: Cell) -> bool:
+        q = self.queues[cell.src][cell.dst]
+        if self.capacity is not None and len(q) >= self.capacity:
+            return False
+        q.append(cell)
+        return True
+
+    def _select_departures(self) -> list[Cell | None]:
+        departures: list[Cell | None] = [None] * self.n_out
+        for j in range(self.n_out):
+            nonempty = [i for i in range(self.n_in) if self.queues[i][j]]
+            if not nonempty:
+                continue
+            if self.service == "round_robin":
+                ptr = self._rr[j]
+                winner = min(nonempty, key=lambda i: (i - ptr) % self.n_in)
+                self._rr[j] = (winner + 1) % self.n_in
+            else:
+                winner = min(
+                    nonempty, key=lambda i: self.queues[i][j][0].arrival_slot
+                )
+            departures[j] = self.queues[winner][j].popleft()
+        return departures
+
+    def occupancy(self) -> int:
+        return sum(len(q) for row in self.queues for q in row)

@@ -1,0 +1,132 @@
+"""Experiment drivers shared by tests, examples, and the benchmark suite.
+
+These helpers standardize how throughput, latency, and loss curves are
+measured so that every architecture is evaluated identically — same warmup,
+same horizon, same saturation criterion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.sim.stats import SwitchStats
+from repro.switches.base import SlottedSwitch
+from repro.traffic.base import TrafficSource
+from repro.traffic.bernoulli import BernoulliUniform
+
+SwitchFactory = Callable[[], SlottedSwitch]
+SourceFactory = Callable[[float, int], TrafficSource]  # (load, seed) -> source
+
+
+def run_switch(switch: SlottedSwitch, source: TrafficSource, slots: int) -> SwitchStats:
+    """Drive ``switch`` with ``source`` for ``slots`` slots; return stats."""
+    return switch.run(source, slots)
+
+
+def uniform_source_factory(n_in: int, n_out: int) -> SourceFactory:
+    """Standard Bernoulli-uniform source factory for sweeps."""
+
+    def factory(load: float, seed: int) -> TrafficSource:
+        return BernoulliUniform(n_in, n_out, load, seed=seed)
+
+    return factory
+
+
+def throughput_at_load(
+    make_switch: SwitchFactory,
+    make_source: SourceFactory,
+    load: float,
+    slots: int = 20_000,
+    warmup_fraction: float = 0.2,
+    seed: int = 1,
+) -> float:
+    """Delivered throughput (cells/output/slot) at a given offered load."""
+    switch = make_switch()
+    switch.stats.warmup = int(slots * warmup_fraction)
+    source = make_source(load, seed)
+    stats = switch.run(source, slots)
+    return stats.throughput
+
+
+def saturation_throughput(
+    make_switch: SwitchFactory,
+    make_source: SourceFactory,
+    slots: int = 30_000,
+    warmup_fraction: float = 0.2,
+    seed: int = 1,
+) -> float:
+    """Saturation throughput: delivered rate under offered load 1.0.
+
+    For work-conserving, non-blocking architectures this equals 1.0; for
+    FIFO input queueing it converges to the [KaHM87] HoL limit.  Queues must
+    be effectively infinite for this to measure *throughput* rather than loss.
+    """
+    return throughput_at_load(
+        make_switch, make_source, 1.0, slots, warmup_fraction, seed
+    )
+
+
+def latency_vs_load(
+    make_switch: SwitchFactory,
+    make_source: SourceFactory,
+    loads: list[float],
+    slots: int = 20_000,
+    warmup_fraction: float = 0.2,
+    seed: int = 1,
+) -> list[tuple[float, float]]:
+    """(load, mean in-switch delay) series — the [AOST93 fig 3] axes."""
+    series: list[tuple[float, float]] = []
+    for load in loads:
+        switch = make_switch()
+        switch.stats.warmup = int(slots * warmup_fraction)
+        stats = switch.run(make_source(load, seed), slots)
+        series.append((load, stats.mean_delay))
+    return series
+
+
+def loss_vs_capacity(
+    make_switch: Callable[[int], SlottedSwitch],
+    make_source: SourceFactory,
+    capacities: list[int],
+    load: float,
+    slots: int = 100_000,
+    warmup_fraction: float = 0.1,
+    seed: int = 1,
+) -> list[tuple[int, float]]:
+    """(capacity, loss probability) series — the [HlKa88] axes (bench E3)."""
+    series: list[tuple[int, float]] = []
+    for cap in capacities:
+        switch = make_switch(cap)
+        switch.stats.warmup = int(slots * warmup_fraction)
+        stats = switch.run(make_source(load, seed), slots)
+        series.append((cap, stats.loss_probability))
+    return series
+
+
+def capacity_for_loss(
+    losses: list[tuple[int, float]], target: float
+) -> int | None:
+    """Smallest measured capacity whose loss is at or below ``target``."""
+    for cap, loss in sorted(losses):
+        if not math.isnan(loss) and loss <= target:
+            return cap
+    return None
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Plain-text table used by every bench to print its paper-style output."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{x:.4g}" if isinstance(x, float) else str(x) for x in row] for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Crossbar schedulers for non-FIFO input buffering (VOQ) switches.
+
+The paper's section 2.1 notes that dropping the FIFO restriction removes
+head-of-line blocking but requires "a more complicated scheduler, because now
+the scheduling of each output depends on the scheduling of the other
+outputs".  The schedulers studied in the papers it cites are implemented
+here:
+
+* :class:`PIM` — Parallel Iterative Matching of [AOST93] (the DEC AN2
+  scheduler): rounds of random propose/grant/accept.
+* :class:`Islip` — round-robin pointer variant (SLIP, also from the AN2 line
+  of work); avoids PIM's randomness and unfairness.
+* :class:`TwoDimRoundRobin` — the 2DRR scheduler of [LaSe95]: generalized
+  diagonals of the request matrix scanned in a rotating order.
+* :class:`GreedyMaximal` — sequential random-order maximal matching
+  (an idealized, centralized contender).
+* :class:`MaxSizeMatching` — exact maximum-size bipartite matching
+  (Hopcroft–Karp); an upper bound no hardware scheduler achieves per-slot.
+
+All schedulers consume a boolean request matrix ``requests[i][j]`` ("input i
+has at least one cell for output j") and return a conflict-free matching as a
+list of ``(input, output)`` pairs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+class Scheduler(ABC):
+    """Computes one crossbar matching per slot from a request matrix."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        """Return a matching (no input or output repeated) within ``requests``."""
+
+    @staticmethod
+    def _validate(requests: np.ndarray) -> tuple[int, int]:
+        if requests.ndim != 2:
+            raise ValueError(f"request matrix must be 2-D, got shape {requests.shape}")
+        return requests.shape
+
+
+def _check_matching(requests: np.ndarray, pairs: list[tuple[int, int]]) -> None:
+    """Internal sanity check used by tests: pairs form a matching in requests."""
+    ins = [i for i, _ in pairs]
+    outs = [j for _, j in pairs]
+    if len(set(ins)) != len(ins) or len(set(outs)) != len(outs):
+        raise AssertionError(f"not a matching: {pairs}")
+    for i, j in pairs:
+        if not requests[i][j]:
+            raise AssertionError(f"pair ({i},{j}) not requested")
+
+
+class PIM(Scheduler):
+    """Parallel Iterative Matching [AOST93].
+
+    Each iteration: every unmatched input sends a request to every output it
+    has traffic for; every unmatched output *grants* one request uniformly at
+    random; every input *accepts* one grant uniformly at random.  [AOST93]
+    showed that ``log2(n) + 3/4`` iterations resolve almost all requests;
+    the default of 4 iterations matches the AN2 hardware.
+    """
+
+    def __init__(self, iterations: int = 4, seed=None) -> None:
+        if iterations < 1:
+            raise ValueError(f"need >= 1 iteration, got {iterations}")
+        self.iterations = iterations
+        self.rng = make_rng(seed)
+        self.name = f"PIM-{iterations}"
+
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        n_in, n_out = self._validate(requests)
+        free_in = np.ones(n_in, dtype=bool)
+        free_out = np.ones(n_out, dtype=bool)
+        pairs: list[tuple[int, int]] = []
+        for _ in range(self.iterations):
+            # Grant phase: each free output grants one free requesting input.
+            grants: dict[int, list[int]] = {}
+            progress = False
+            for j in range(n_out):
+                if not free_out[j]:
+                    continue
+                candidates = [i for i in range(n_in) if free_in[i] and requests[i][j]]
+                if not candidates:
+                    continue
+                winner = candidates[int(self.rng.integers(0, len(candidates)))]
+                grants.setdefault(winner, []).append(j)
+            # Accept phase: each input accepts one grant.
+            for i, granted in grants.items():
+                j = granted[int(self.rng.integers(0, len(granted)))]
+                pairs.append((i, j))
+                free_in[i] = False
+                free_out[j] = False
+                progress = True
+            if not progress:
+                break
+        return pairs
+
+
+class Islip(Scheduler):
+    """Round-robin iterative matching (iSLIP).
+
+    Outputs grant the requesting input nearest (cyclically) to their grant
+    pointer; inputs accept the granting output nearest to their accept
+    pointer.  Pointers advance one past the chosen partner, only when the
+    grant is accepted and only in the first iteration — the combination that
+    gives iSLIP its 100 %-throughput-under-uniform-traffic behaviour.
+    """
+
+    def __init__(self, iterations: int = 4) -> None:
+        if iterations < 1:
+            raise ValueError(f"need >= 1 iteration, got {iterations}")
+        self.iterations = iterations
+        self._grant_ptr: np.ndarray | None = None
+        self._accept_ptr: np.ndarray | None = None
+        self.name = f"iSLIP-{iterations}"
+
+    def _ensure_state(self, n_in: int, n_out: int) -> None:
+        if self._grant_ptr is None or len(self._grant_ptr) != n_out:
+            self._grant_ptr = np.zeros(n_out, dtype=int)
+            self._accept_ptr = np.zeros(n_in, dtype=int)
+
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        n_in, n_out = self._validate(requests)
+        self._ensure_state(n_in, n_out)
+        free_in = np.ones(n_in, dtype=bool)
+        free_out = np.ones(n_out, dtype=bool)
+        pairs: list[tuple[int, int]] = []
+        for it in range(self.iterations):
+            grants: dict[int, list[int]] = {}
+            for j in range(n_out):
+                if not free_out[j]:
+                    continue
+                ptr = self._grant_ptr[j]
+                order = [(ptr + k) % n_in for k in range(n_in)]
+                for i in order:
+                    if free_in[i] and requests[i][j]:
+                        grants.setdefault(i, []).append(j)
+                        break
+            progress = False
+            for i, granted in grants.items():
+                ptr = self._accept_ptr[i]
+                j = min(granted, key=lambda jj: (jj - ptr) % n_out)
+                pairs.append((i, j))
+                free_in[i] = False
+                free_out[j] = False
+                progress = True
+                if it == 0:
+                    self._grant_ptr[j] = (i + 1) % n_in
+                    self._accept_ptr[i] = (j + 1) % n_out
+            if not progress:
+                break
+        return pairs
+
+
+class TwoDimRoundRobin(Scheduler):
+    """Two-Dimensional Round-Robin scheduler [LaSe95].
+
+    The request matrix's ``n`` generalized diagonals (pairs ``(i, (i+d) mod
+    n)``) are scanned in an order that rotates from slot to slot, granting
+    every requested pair on a diagonal whose input and output are still free.
+    Fair and simple — implementable as ``n`` wired patterns — at some cost in
+    matching quality versus PIM/iSLIP.
+    """
+
+    def __init__(self) -> None:
+        self._slot = 0
+        self.name = "2DRR"
+
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        n_in, n_out = self._validate(requests)
+        n = max(n_in, n_out)
+        free_in = np.ones(n_in, dtype=bool)
+        free_out = np.ones(n_out, dtype=bool)
+        pairs: list[tuple[int, int]] = []
+        first = self._slot % n
+        for step in range(n):
+            d = (first + step) % n
+            for i in range(n_in):
+                j = (i + d) % n
+                if j >= n_out:
+                    continue
+                if free_in[i] and free_out[j] and requests[i][j]:
+                    pairs.append((i, j))
+                    free_in[i] = False
+                    free_out[j] = False
+        self._slot += 1
+        return pairs
+
+
+class GreedyMaximal(Scheduler):
+    """Sequential random-order maximal matching (centralized idealization)."""
+
+    def __init__(self, seed=None) -> None:
+        self.rng = make_rng(seed)
+        self.name = "greedy-maximal"
+
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        n_in, n_out = self._validate(requests)
+        edges = [(i, j) for i in range(n_in) for j in range(n_out) if requests[i][j]]
+        self.rng.shuffle(edges)
+        free_in = np.ones(n_in, dtype=bool)
+        free_out = np.ones(n_out, dtype=bool)
+        pairs: list[tuple[int, int]] = []
+        for i, j in edges:
+            if free_in[i] and free_out[j]:
+                pairs.append((i, j))
+                free_in[i] = False
+                free_out[j] = False
+        return pairs
+
+
+class MaxSizeMatching(Scheduler):
+    """Exact maximum-size bipartite matching via Hopcroft–Karp (networkx).
+
+    A per-slot upper bound on any practical scheduler; used by tests to bound
+    the others and by the E4 bench as the "perfect scheduler" series.
+    """
+
+    def __init__(self) -> None:
+        self.name = "max-size"
+
+    def match(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        import networkx as nx  # deferred: heavy import, only needed here
+
+        n_in, n_out = self._validate(requests)
+        g = nx.Graph()
+        g.add_nodes_from(("in", i) for i in range(n_in))
+        g.add_nodes_from(("out", j) for j in range(n_out))
+        g.add_edges_from(
+            (("in", i), ("out", j))
+            for i in range(n_in)
+            for j in range(n_out)
+            if requests[i][j]
+        )
+        top = [("in", i) for i in range(n_in)]
+        matching = nx.bipartite.hopcroft_karp_matching(g, top_nodes=top)
+        return sorted(
+            (node[1], partner[1])
+            for node, partner in matching.items()
+            if node[0] == "in"
+        )

@@ -1,0 +1,26 @@
+"""Synthetic traffic generators for the switch simulators."""
+
+from repro.traffic.base import RandomTrafficSource, TrafficSource
+from repro.traffic.bernoulli import BernoulliMatrix, BernoulliUniform
+from repro.traffic.bursty import BurstyOnOff
+from repro.traffic.hotspot import Hotspot
+from repro.traffic.permutation import (
+    FixedPermutation,
+    RandomPermutation,
+    RotatingPermutation,
+)
+from repro.traffic.trace import TraceSource, record_trace
+
+__all__ = [
+    "TrafficSource",
+    "RandomTrafficSource",
+    "BernoulliUniform",
+    "BernoulliMatrix",
+    "BurstyOnOff",
+    "Hotspot",
+    "FixedPermutation",
+    "RotatingPermutation",
+    "RandomPermutation",
+    "TraceSource",
+    "record_trace",
+]

@@ -1,0 +1,57 @@
+"""Common interface for slotted traffic generators.
+
+A traffic source models the ``n`` incoming links of an ``n_in``-port switch.
+Each call to :meth:`TrafficSource.arrivals` returns, for one time slot, a list
+of length ``n_in`` whose entry ``i`` is either ``None`` (no cell arrived on
+input ``i`` this slot) or the destination output port of the arriving cell.
+
+The word-level model of :mod:`repro.core` reuses the same sources: a slot
+there corresponds to one packet time (``B`` clock cycles), and the arriving
+"cell" becomes a ``B``-word packet whose head shows up at the slot boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+class TrafficSource(ABC):
+    """Base class: per-slot arrival pattern for ``n_in`` inputs, ``n_out`` outputs."""
+
+    def __init__(self, n_in: int, n_out: int) -> None:
+        if n_in < 1 or n_out < 1:
+            raise ValueError(f"need at least one input and output, got {n_in}x{n_out}")
+        self.n_in = n_in
+        self.n_out = n_out
+
+    @abstractmethod
+    def arrivals(self, slot: int) -> list[int | None]:
+        """Destinations (or ``None``) for each input in this slot.
+
+        ``slot`` is provided for sources with time structure (traces, frames);
+        stochastic sources advance their own RNG state and must be called with
+        monotonically increasing slots.
+        """
+
+    @property
+    def offered_load(self) -> float:
+        """Long-run probability that a given input carries a cell in a slot.
+
+        Subclasses with a well-defined load override this; the default raises
+        so that harness code never silently assumes a load.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no analytic load")
+
+
+class RandomTrafficSource(TrafficSource):
+    """Base for stochastic sources; owns a numpy Generator."""
+
+    def __init__(
+        self, n_in: int, n_out: int, seed: int | np.random.Generator | None = None
+    ) -> None:
+        super().__init__(n_in, n_out)
+        self.rng = make_rng(seed)

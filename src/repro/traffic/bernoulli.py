@@ -1,0 +1,83 @@
+"""Independent Bernoulli arrivals with uniformly random destinations.
+
+This is the traffic model behind every queueing result the paper cites:
+[KaHM87] (input vs output queueing), [HlKa88] (buffer sizing), and the
+section 3.4 staggered-initiation analysis ("independent, randomly destined
+packet traffic").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.base import RandomTrafficSource
+
+
+class BernoulliUniform(RandomTrafficSource):
+    """Each input receives a cell with probability ``load`` per slot; the
+    destination is uniform over the ``n_out`` outputs, independent of
+    everything else."""
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        load: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_in, n_out, seed)
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        self.load = load
+
+    def arrivals(self, slot: int) -> list[int | None]:
+        active = self.rng.random(self.n_in) < self.load
+        dests = self.rng.integers(0, self.n_out, size=self.n_in)
+        return [int(d) if a else None for a, d in zip(active, dests)]
+
+    @property
+    def offered_load(self) -> float:
+        return self.load
+
+
+class BernoulliMatrix(RandomTrafficSource):
+    """Bernoulli arrivals with an arbitrary input->output rate matrix.
+
+    ``rates[i][j]`` is the probability that input ``i`` receives, in a given
+    slot, a cell destined to output ``j``.  Row sums must not exceed 1 (at
+    most one cell per input per slot).  ``BernoulliUniform`` is the special
+    case ``rates[i][j] = load / n_out``.
+    """
+
+    def __init__(
+        self,
+        rates: np.ndarray | list[list[float]],
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 2:
+            raise ValueError(f"rates must be a 2-D matrix, got shape {rates.shape}")
+        if (rates < 0).any():
+            raise ValueError("rates must be non-negative")
+        row_sums = rates.sum(axis=1)
+        if (row_sums > 1.0 + 1e-12).any():
+            raise ValueError(f"row sums must be <= 1, got max {row_sums.max():.6f}")
+        super().__init__(rates.shape[0], rates.shape[1], seed)
+        self.rates = rates
+        # Precompute per-input categorical distributions over {None, 0..n_out-1}.
+        self._probs = np.concatenate(
+            [np.clip(1.0 - row_sums, 0.0, 1.0)[:, None], rates], axis=1
+        )
+        # Normalize away float dust so rng.choice accepts the rows.
+        self._probs /= self._probs.sum(axis=1, keepdims=True)
+
+    def arrivals(self, slot: int) -> list[int | None]:
+        out: list[int | None] = []
+        for i in range(self.n_in):
+            k = int(self.rng.choice(self.n_out + 1, p=self._probs[i]))
+            out.append(None if k == 0 else k - 1)
+        return out
+
+    @property
+    def offered_load(self) -> float:
+        return float(self.rates.sum(axis=1).mean())

@@ -1,0 +1,77 @@
+"""Bursty (on/off) traffic with geometrically distributed burst lengths.
+
+The paper (section 2.1) notes that input queueing degrades further "when the
+traffic is bursty and the bursts are larger than the buffers".  This source
+models each input as a two-state on/off Markov process; while *on*, a cell
+arrives every slot, all cells of one burst sharing a single destination (the
+classic correlated-train model used in the shared-buffer literature, e.g.
+[HlKa88]'s companion analyses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.base import RandomTrafficSource
+
+
+class BurstyOnOff(RandomTrafficSource):
+    """On/off source: geometric burst of cells to one destination, then idle.
+
+    Parameters
+    ----------
+    load:
+        Long-run fraction of slots carrying a cell, per input.
+    mean_burst:
+        Mean burst length in cells (geometric, support >= 1).
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        load: float,
+        mean_burst: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_in, n_out, seed)
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if mean_burst < 1.0:
+            raise ValueError(f"mean burst length must be >= 1 cell, got {mean_burst}")
+        self.load = load
+        self.mean_burst = mean_burst
+        # Burst length ~ Geometric(p_end) with support >= 1 (mean 1/p_end);
+        # idle gap ~ Geometric(p_start) with support >= 0 (a new burst may
+        # start the very slot after the previous one ends), so the gap mean
+        # is (1 - p_start)/p_start.  Choosing the means in ratio
+        # (1 - load)/load makes the stationary on-fraction equal `load`.
+        self.p_end = 1.0 / mean_burst
+        if load >= 1.0:
+            self.p_start = 1.0
+        elif load <= 0.0:
+            self.p_start = 0.0
+        else:
+            mean_idle = mean_burst * (1.0 - load) / load
+            self.p_start = 1.0 / (mean_idle + 1.0)
+        self._on = [False] * n_in
+        self._dest = [0] * n_in
+
+    def arrivals(self, slot: int) -> list[int | None]:
+        out: list[int | None] = []
+        for i in range(self.n_in):
+            if not self._on[i]:
+                if self.rng.random() < self.p_start:
+                    self._on[i] = True
+                    self._dest[i] = int(self.rng.integers(0, self.n_out))
+            if self._on[i]:
+                out.append(self._dest[i])
+                if self.rng.random() < self.p_end:
+                    self._on[i] = False
+            else:
+                out.append(None)
+        return out
+
+    @property
+    def offered_load(self) -> float:
+        return self.load

@@ -1,0 +1,64 @@
+"""Nonuniform (hotspot) destination traffic.
+
+Used by the ablation benches: shared buffering's memory-utilization advantage
+over output queueing grows under nonuniform traffic because the hot output's
+queue can borrow space from the cold ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traffic.base import RandomTrafficSource
+
+
+class Hotspot(RandomTrafficSource):
+    """Bernoulli arrivals where output ``hot`` attracts extra traffic.
+
+    A fraction ``hot_fraction`` of all cells goes to the hot output; the rest
+    is uniform over all outputs (including the hot one).
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        load: float,
+        hot: int = 0,
+        hot_fraction: float = 0.3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_in, n_out, seed)
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if not 0 <= hot < n_out:
+            raise ValueError(f"hot output {hot} out of range for {n_out} outputs")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        self.load = load
+        self.hot = hot
+        self.hot_fraction = hot_fraction
+
+    def arrivals(self, slot: int) -> list[int | None]:
+        out: list[int | None] = []
+        for _ in range(self.n_in):
+            if self.rng.random() >= self.load:
+                out.append(None)
+            elif self.rng.random() < self.hot_fraction:
+                out.append(self.hot)
+            else:
+                out.append(int(self.rng.integers(0, self.n_out)))
+        return out
+
+    @property
+    def offered_load(self) -> float:
+        return self.load
+
+    def output_load(self, j: int) -> float:
+        """Analytic long-run cells/slot offered to output ``j``.
+
+        Exceeding 1.0 for the hot output means that output saturates.
+        """
+        total = self.load * self.n_in
+        base = total * (1.0 - self.hot_fraction) / self.n_out
+        return base + (total * self.hot_fraction if j == self.hot else 0.0)

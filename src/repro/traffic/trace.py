@@ -1,0 +1,57 @@
+"""Trace replay and trace recording.
+
+A *trace* is a list of slots; each slot is a list of length ``n_in`` of
+``None``-or-destination entries — exactly what :meth:`TrafficSource.arrivals`
+returns.  Traces let tests replay a pathological arrival pattern bit-for-bit
+against several architectures, and let the benches pin down crossover points
+with identical inputs for every contender.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.base import TrafficSource
+
+
+class TraceSource(TrafficSource):
+    """Replay a recorded trace; slots beyond the end are empty.
+
+    ``loop=True`` wraps around instead (useful for periodic stress patterns).
+    """
+
+    def __init__(
+        self,
+        trace: list[list[int | None]],
+        n_out: int,
+        loop: bool = False,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must contain at least one slot")
+        n_in = len(trace[0])
+        for t, slot in enumerate(trace):
+            if len(slot) != n_in:
+                raise ValueError(
+                    f"trace slot {t} has {len(slot)} entries, expected {n_in}"
+                )
+            for dst in slot:
+                if dst is not None and not 0 <= dst < n_out:
+                    raise ValueError(f"trace slot {t}: destination {dst} out of range")
+        super().__init__(n_in, n_out)
+        self.trace = trace
+        self.loop = loop
+
+    def arrivals(self, slot: int) -> list[int | None]:
+        if slot < len(self.trace):
+            return list(self.trace[slot])
+        if self.loop:
+            return list(self.trace[slot % len(self.trace)])
+        return [None] * self.n_in
+
+    @property
+    def offered_load(self) -> float:
+        cells = sum(1 for slot in self.trace for d in slot if d is not None)
+        return cells / (len(self.trace) * self.n_in)
+
+
+def record_trace(source: TrafficSource, slots: int, start: int = 0) -> list[list[int | None]]:
+    """Materialize ``slots`` slots of ``source`` into a replayable trace."""
+    return [source.arrivals(t) for t in range(start, start + slots)]

@@ -1,0 +1,114 @@
+"""Parametric silicon area/timing models calibrated to the Telegraphos dies."""
+
+from repro.vlsi.block_crosspoint import (
+    BlockCrosspointCost,
+    block_crosspoint_cost,
+    block_size_sweep,
+)
+from repro.vlsi.comparisons import (
+    SharedVsInputReport,
+    pipelined_vs_prizma,
+    pipelined_vs_wide,
+    shared_vs_input_buffering,
+)
+from repro.vlsi.crossbar import (
+    CrossbarCost,
+    crossbar_cost,
+    pipelined_crossbars,
+    prizma_crossbars,
+    prizma_vs_pipelined_ratio,
+)
+from repro.vlsi.datapath import (
+    DatapathArea,
+    input_buffer_peripheral_area,
+    pipelined_peripheral_area,
+    wide_peripheral_area,
+)
+from repro.vlsi.floorplan import Block, Floorplan, row, stack
+from repro.vlsi.memory import (
+    MemoryArea,
+    bank_dimensions_um,
+    decoder_area_um2,
+    megacell_area_mm2,
+    pipelined_memory_area,
+    pipereg_area_um2,
+    shift_register_buffer_area_mm2,
+    wide_memory_area,
+)
+from repro.vlsi.technology import (
+    TELEGRAPHOS_II_TECH,
+    TELEGRAPHOS_III_TECH,
+    Style,
+    Technology,
+    scaled,
+)
+from repro.vlsi.telegraphos import (
+    TELEGRAPHOS_I,
+    TELEGRAPHOS_II,
+    TELEGRAPHOS_III,
+    TelegraphosConfig,
+    factor_of_22_report,
+    telegraphos1_report,
+    telegraphos2_report,
+    telegraphos3_report,
+)
+from repro.vlsi.timing import (
+    WordlineDelay,
+    aggregate_buffer_throughput_gbps,
+    clock_cycle_ns,
+    link_throughput_gbps,
+    optimal_split,
+    wide_vs_pipelined_wordline_ratio,
+    wordline_delay,
+)
+
+__all__ = [
+    "BlockCrosspointCost",
+    "block_crosspoint_cost",
+    "block_size_sweep",
+    "Technology",
+    "Style",
+    "scaled",
+    "TELEGRAPHOS_II_TECH",
+    "TELEGRAPHOS_III_TECH",
+    "MemoryArea",
+    "bank_dimensions_um",
+    "decoder_area_um2",
+    "pipereg_area_um2",
+    "pipelined_memory_area",
+    "wide_memory_area",
+    "megacell_area_mm2",
+    "shift_register_buffer_area_mm2",
+    "DatapathArea",
+    "pipelined_peripheral_area",
+    "wide_peripheral_area",
+    "input_buffer_peripheral_area",
+    "CrossbarCost",
+    "crossbar_cost",
+    "prizma_crossbars",
+    "pipelined_crossbars",
+    "prizma_vs_pipelined_ratio",
+    "Block",
+    "Floorplan",
+    "row",
+    "stack",
+    "WordlineDelay",
+    "wordline_delay",
+    "wide_vs_pipelined_wordline_ratio",
+    "optimal_split",
+    "clock_cycle_ns",
+    "link_throughput_gbps",
+    "aggregate_buffer_throughput_gbps",
+    "TelegraphosConfig",
+    "TELEGRAPHOS_I",
+    "TELEGRAPHOS_II",
+    "TELEGRAPHOS_III",
+    "telegraphos1_report",
+    "telegraphos2_report",
+    "telegraphos3_report",
+    "factor_of_22_report",
+    "SharedVsInputReport",
+    "shared_vs_input_buffering",
+    "pipelined_vs_prizma",
+    "pipelined_vs_wide",
+]

@@ -1,0 +1,142 @@
+"""Silicon model of block-crosspoint buffering built from pipelined memories.
+
+Paper §3.5: "if more links or more throughput is desired, one can always go
+to block-crosspoint buffering, still using pipelined memory to construct
+each of the buffers."  This module prices that design: an ``n x n`` switch
+partitioned into ``(n/g)^2`` blocks, each a ``g x g`` pipelined shared
+buffer (``2g`` banks of ``w`` bits).
+
+The model captures the §3.5 trade:
+
+* the per-buffer **throughput quantum** shrinks from ``2nw`` to ``2gw`` —
+  the scaling escape hatch;
+* the wire-dominated **datapath area** stays ~constant: each block's
+  peripheral is ∝ (2gw)^2 and there are (n/g)^2 blocks, so the total is
+  ∝ (2nw)^2 regardless of g (first order);
+* **memory** grows as g shrinks: smaller pools share less, so the capacity
+  needed for a loss target rises (quantified with the
+  :mod:`repro.analysis.buffer_sizing` machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.queueing import batch_pmf, convolve_queues
+from repro.vlsi.datapath import pipelined_peripheral_area
+from repro.vlsi.memory import pipelined_memory_area
+from repro.vlsi.technology import TELEGRAPHOS_III_TECH, Technology
+
+
+@dataclass(frozen=True, slots=True)
+class BlockCrosspointCost:
+    """Cost summary of one block-crosspoint configuration."""
+
+    n: int
+    g: int  # block size (g x g blocks)
+    blocks: int  # (n/g)^2
+    quantum_bits: int  # per-buffer width = packet quantum
+    capacity_per_block: int  # packets, sized for the loss target
+    total_capacity: int
+    memory_mm2: float
+    datapath_mm2: float
+    total_mm2: float
+
+
+def block_crosspoint_cost(
+    tech: Technology = TELEGRAPHOS_III_TECH,
+    n: int = 16,
+    g: int = 8,
+    width_bits: int = 16,
+    load: float = 0.8,
+    loss_target: float = 1e-3,
+) -> BlockCrosspointCost:
+    """Price an ``n x n`` switch built of ``g x g`` pipelined-buffer blocks.
+
+    Buffer sizing: output ``j``'s traffic arrives through its column of
+    ``n/g`` blocks, which *share* output ``j``'s link — so each block's
+    per-output queue receives ``load * g / n`` cells/slot but is served only
+    ``g/n`` of the slots (modeled Bernoulli, slightly conservative versus
+    round-robin).  The utilization per queue is therefore ``load`` at every
+    block size, but partitioned queues cannot share memory, which is why the
+    total capacity grows as blocks shrink — the §2 sharing argument in cost
+    form.
+    """
+    if g < 1 or n % g:
+        raise ValueError(f"block size {g} must divide n={n}")
+    columns = n // g
+    blocks = columns * columns
+    per_block_target = loss_target / columns
+    queue = _slow_served_queue_distribution(
+        g, load * g / n, service_prob=g / n
+    )
+    pool = convolve_queues(queue, max(g, 1))
+    cdf = np.cumsum(pool)
+    capacity = int(np.searchsorted(cdf, 1.0 - per_block_target)) + 1
+    depth = 2 * g
+    mem = pipelined_memory_area(tech, depth, max(capacity, 1), width_bits)
+    dp = pipelined_peripheral_area(tech, g, width_bits, depth)
+    return BlockCrosspointCost(
+        n=n,
+        g=g,
+        blocks=blocks,
+        quantum_bits=depth * width_bits,
+        capacity_per_block=capacity,
+        total_capacity=capacity * blocks,
+        memory_mm2=mem.total_mm2 * blocks,
+        datapath_mm2=dp.area_mm2 * blocks,
+        total_mm2=(mem.total_mm2 + dp.area_mm2) * blocks,
+    )
+
+
+def _slow_served_queue_distribution(
+    g: int,
+    arrival_load: float,
+    service_prob: float,
+    truncate: int = 1024,
+    tol: float = 1e-12,
+    max_iter: int = 60_000,
+) -> np.ndarray:
+    """Stationary distribution of one block-output queue.
+
+    Arrivals: ``Bin(g, arrival_load/g)`` per slot (the block's input group);
+    service: one cell with probability ``service_prob`` per slot (the output
+    link visiting this column block).  ``Q' = max(Q + A - S, 0)``.
+    """
+    a = batch_pmf(g, min(arrival_load, 1.0))
+    q = np.zeros(truncate)
+    q[0] = 1.0
+    s = service_prob
+    for _ in range(max_iter):
+        x = np.convolve(q, a)[:truncate]
+        served = np.empty_like(x)
+        served[:-1] = x[1:]
+        served[-1] = 0.0
+        served[0] += x[0]
+        nxt = s * served + (1.0 - s) * x
+        if np.abs(nxt - q).max() < tol:
+            q = nxt
+            break
+        q = nxt
+    return q / q.sum()
+
+
+def block_size_sweep(
+    tech: Technology = TELEGRAPHOS_III_TECH,
+    n: int = 16,
+    width_bits: int = 16,
+    load: float = 0.8,
+    loss_target: float = 1e-3,
+) -> list[BlockCrosspointCost]:
+    """All valid block sizes from full sharing (g = n) down to g = 2."""
+    out = []
+    g = n
+    while g >= 2:
+        if n % g == 0:
+            out.append(
+                block_crosspoint_cost(tech, n, g, width_bits, load, loss_target)
+            )
+        g //= 2
+    return out

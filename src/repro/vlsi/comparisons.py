@@ -1,0 +1,145 @@
+"""Section 5 comparisons: the paper's cost-performance arguments as code.
+
+* §5.1 shared vs (non-FIFO) input buffering — equal width, fewer bits needed;
+* §5.2 pipelined vs wide-memory shared buffer — ~30 % smaller peripheral;
+* §5.3 pipelined vs PRIZMA interleaved shared buffer — crossbars 16x cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.buffer_sizing import (
+    input_smoothing_capacity_for_loss,
+    shared_buffer_capacity_for_loss,
+)
+from repro.vlsi.crossbar import (
+    pipelined_crossbars,
+    prizma_crossbars,
+    prizma_vs_pipelined_ratio,
+)
+from repro.vlsi.datapath import (
+    input_buffer_peripheral_area,
+    pipelined_peripheral_area,
+    wide_peripheral_area,
+)
+from repro.vlsi.memory import (
+    pipelined_memory_area,
+    shift_register_buffer_area_mm2,
+    wide_memory_area,
+)
+from repro.vlsi.technology import TELEGRAPHOS_III_TECH, Technology
+
+
+# -- §5.1: shared vs input buffering ---------------------------------------------
+@dataclass(frozen=True, slots=True)
+class SharedVsInputReport:
+    """Figure-9 comparison at equal performance.
+
+    Both organizations have total storage width ``2nw`` bit columns; the
+    shared buffer needs height ``H_s`` and the input buffers ``H_i > H_s``
+    cells for the same loss probability, so the shared storage array is
+    smaller.  The crossbar/datapath blocks are ~2nw x nw in both cases:
+    one crossbar + scheduler for input buffering, two wire blocks for the
+    shared buffer.
+    """
+
+    n: int
+    width_bits: int
+    h_shared_cells: int  # per-output cells (pool/n), paper's H_s
+    h_input_cells: int  # per-input cells, paper's H_i
+    shared_storage_mm2: float
+    input_storage_mm2: float
+    shared_datapath_mm2: float  # two 2nw x nw blocks
+    input_datapath_mm2: float  # one crossbar (scheduler priced separately)
+    height_ratio: float  # H_i / H_s
+
+
+def shared_vs_input_buffering(
+    tech: Technology = TELEGRAPHOS_III_TECH,
+    n: int = 16,
+    width_bits: int = 16,
+    load: float = 0.8,
+    loss_target: float = 1e-3,
+) -> SharedVsInputReport:
+    """Instantiate §5.1 with performance-matched buffer heights.
+
+    ``H_s`` comes from the shared-pool sizing, ``H_i`` from the
+    input-smoothing requirement (the paper's §2.2 proxy for input
+    buffering at equal loss) — both from :mod:`repro.analysis.buffer_sizing`.
+    """
+    shared_total = shared_buffer_capacity_for_loss(n, load, loss_target)
+    h_s = max(1, round(shared_total / n))
+    h_i = input_smoothing_capacity_for_loss(n, load, loss_target)
+    bit = tech.bit_area()
+    packet_bits = 2 * n * width_bits  # one buffered packet, paper's quantum
+    shared_storage = shared_total * packet_bits * bit / 1e6
+    input_storage = n * h_i * packet_bits * bit / 1e6
+    shared_dp = 2 * pipelined_peripheral_area(tech, n, width_bits).area_mm2 / 2
+    # (pipelined_peripheral_area already covers both link directions: 2nw
+    # wires over the full buffer width — i.e. the paper's two 2nw x nw
+    # blocks together.)
+    input_dp = input_buffer_peripheral_area(tech, n, width_bits).area_mm2
+    return SharedVsInputReport(
+        n=n,
+        width_bits=width_bits,
+        h_shared_cells=h_s,
+        h_input_cells=h_i,
+        shared_storage_mm2=shared_storage,
+        input_storage_mm2=input_storage,
+        shared_datapath_mm2=shared_dp,
+        input_datapath_mm2=input_dp,
+        height_ratio=h_i / max(h_s, 1),
+    )
+
+
+# -- §5.2: pipelined vs wide memory ------------------------------------------------
+def pipelined_vs_wide(
+    tech: Technology = TELEGRAPHOS_III_TECH,
+    n: int = 8,
+    width_bits: int = 16,
+    addresses: int = 256,
+) -> dict:
+    """§5.2 at Telegraphos III parameters: peripheral 9 vs 13 mm^2 (~30 %)."""
+    depth = 2 * n
+    pipe_dp = pipelined_peripheral_area(tech, n, width_bits, depth)
+    wide_dp = wide_peripheral_area(tech, n, width_bits, depth)
+    pipe_mem = pipelined_memory_area(tech, depth, addresses, width_bits)
+    wide_mem = wide_memory_area(tech, addresses, depth * width_bits)
+    return {
+        "pipelined_peripheral_mm2": pipe_dp.area_mm2,
+        "wide_peripheral_mm2": wide_dp.area_mm2,
+        "peripheral_saving": 1.0 - pipe_dp.area_mm2 / wide_dp.area_mm2,
+        "pipelined_memory_mm2": pipe_mem.total_mm2,
+        "wide_memory_mm2": wide_mem.total_mm2,
+        "pipelined_total_mm2": pipe_dp.area_mm2 + pipe_mem.total_mm2,
+        "wide_total_mm2": wide_dp.area_mm2 + wide_mem.total_mm2,
+    }
+
+
+# -- §5.3: pipelined vs PRIZMA interleaved -------------------------------------------
+def pipelined_vs_prizma(
+    tech: Technology = TELEGRAPHOS_III_TECH,
+    n: int = 8,
+    width_bits: int = 16,
+    m_banks: int = 256,
+    addresses: int = 256,
+) -> dict:
+    """§5.3 at Telegraphos III sizes: crossbar complexity ratio M/2n = 16."""
+    prizma = prizma_crossbars(tech, n, m_banks, width_bits)
+    pipe = pipelined_crossbars(tech, n, width_bits)
+    ratio = prizma_vs_pipelined_ratio(n, m_banks)
+    depth = 2 * n
+    pipe_mem = pipelined_memory_area(tech, depth, addresses, width_bits)
+    shift_reg = shift_register_buffer_area_mm2(tech, depth, addresses, width_bits)
+    return {
+        "prizma_crosspoints": prizma["total_crosspoints"],
+        "pipelined_crosspoints": pipe["total_crosspoints"],
+        "crosspoint_ratio": prizma["total_crosspoints"] / pipe["total_crosspoints"],
+        "analytic_ratio": ratio,
+        "prizma_crossbar_mm2": prizma["total_area_mm2"],
+        "pipelined_crossbar_mm2": pipe["total_area_mm2"],
+        "ram_buffer_mm2": pipe_mem.total_mm2,
+        "shift_register_buffer_mm2": shift_reg,
+        "shift_register_penalty": shift_reg / pipe_mem.bits_mm2,
+    }

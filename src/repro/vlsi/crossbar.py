@@ -1,0 +1,77 @@
+"""Crossbar complexity/area (paper §5.3).
+
+The PRIZMA interleaved shared buffer needs a "router" and a "selector", each
+an ``n x M`` crossbar (``M`` = number of banks = buffer capacity in cells);
+the pipelined memory's input and output datapaths are each ``n x 2n``
+crossbars.  "Since usually the packet capacity of the buffer is much larger
+than the total number of links, the PRIZMA circuits cost much more": with
+Telegraphos III numbers, ``M / 2n = 256 / 16 = 16 x`` (bench E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vlsi.technology import Technology
+
+
+@dataclass(frozen=True, slots=True)
+class CrossbarCost:
+    """Crosspoint count and wire-limited area of one crossbar."""
+
+    rows: int
+    cols: int
+    width_bits: int
+    crosspoints: int
+    area_mm2: float
+
+
+def crossbar_cost(tech: Technology, rows: int, cols: int, width_bits: int) -> CrossbarCost:
+    """An ``rows x cols`` crossbar of ``width_bits``-bit buses.
+
+    Area is wire-limited: ``rows*w`` horizontal wires crossing ``cols*w``
+    vertical wires at the datapath wire pitch.
+    """
+    if rows < 1 or cols < 1 or width_bits < 1:
+        raise ValueError("crossbar dimensions must be >= 1")
+    pitch_mm = tech.wire_pitch_um() / 1e3
+    h = rows * width_bits * pitch_mm
+    v = cols * width_bits * pitch_mm
+    return CrossbarCost(
+        rows=rows,
+        cols=cols,
+        width_bits=width_bits,
+        crosspoints=rows * cols * width_bits,
+        area_mm2=h * v,
+    )
+
+
+def prizma_crossbars(tech: Technology, n: int, m_banks: int, width_bits: int) -> dict:
+    """Router + selector cost of a PRIZMA shared buffer."""
+    router = crossbar_cost(tech, n, m_banks, width_bits)
+    selector = crossbar_cost(tech, n, m_banks, width_bits)
+    return {
+        "router": router,
+        "selector": selector,
+        "total_crosspoints": router.crosspoints + selector.crosspoints,
+        "total_area_mm2": router.area_mm2 + selector.area_mm2,
+    }
+
+
+def pipelined_crossbars(tech: Technology, n: int, width_bits: int) -> dict:
+    """Input + output datapath of the pipelined buffer as n x 2n crossbars."""
+    inp = crossbar_cost(tech, n, 2 * n, width_bits)
+    out = crossbar_cost(tech, n, 2 * n, width_bits)
+    return {
+        "input": inp,
+        "output": out,
+        "total_crosspoints": inp.crosspoints + out.crosspoints,
+        "total_area_mm2": inp.area_mm2 + out.area_mm2,
+    }
+
+
+def prizma_vs_pipelined_ratio(n: int, m_banks: int) -> float:
+    """The §5.3 complexity ratio ``M / 2n`` (16 for Telegraphos III sizes)."""
+    if n < 1 or m_banks < 1:
+        raise ValueError("n and m_banks must be >= 1")
+    return m_banks / (2 * n)

@@ -1,0 +1,88 @@
+"""Floorplan arithmetic: rectangular blocks, rows, and fit checks.
+
+Not a placer — the same first-order block arithmetic the paper's figures 6
+and 8 use, enough to reproduce the Telegraphos II die budget (8.5 x 8.5 mm
+chip, 32 mm^2 of it the shared buffer) and the Telegraphos III buffer
+footprint (~45 mm^2 including crossbar and cut-through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """A named rectangular block (dimensions in mm)."""
+
+    name: str
+    width_mm: float
+    height_mm: float
+
+    def __post_init__(self) -> None:
+        if self.width_mm < 0 or self.height_mm < 0:
+            raise ValueError(f"block {self.name} has negative dimensions")
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    def rotated(self) -> "Block":
+        return Block(self.name, self.height_mm, self.width_mm)
+
+
+def row(name: str, blocks: list[Block], gap_mm: float = 0.0) -> Block:
+    """Blocks side by side: width adds (plus gaps), height is the max."""
+    if not blocks:
+        raise ValueError("row needs at least one block")
+    width = sum(b.width_mm for b in blocks) + gap_mm * (len(blocks) - 1)
+    height = max(b.height_mm for b in blocks)
+    return Block(name, width, height)
+
+
+def stack(name: str, blocks: list[Block], gap_mm: float = 0.0) -> Block:
+    """Blocks on top of each other: height adds, width is the max."""
+    if not blocks:
+        raise ValueError("stack needs at least one block")
+    width = max(b.width_mm for b in blocks)
+    height = sum(b.height_mm for b in blocks) + gap_mm * (len(blocks) - 1)
+    return Block(name, width, height)
+
+
+@dataclass(slots=True)
+class Floorplan:
+    """A die with a list of accounted blocks."""
+
+    die_width_mm: float
+    die_height_mm: float
+    blocks: list[Block] = field(default_factory=list)
+
+    def add(self, block: Block) -> Block:
+        self.blocks.append(block)
+        return block
+
+    @property
+    def die_area_mm2(self) -> float:
+        return self.die_width_mm * self.die_height_mm
+
+    @property
+    def used_area_mm2(self) -> float:
+        return sum(b.area_mm2 for b in self.blocks)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_area_mm2 / self.die_area_mm2
+
+    def fits(self) -> bool:
+        """First-order feasibility: total block area within the die, and
+        every block individually fits within the die outline."""
+        if self.used_area_mm2 > self.die_area_mm2:
+            return False
+        return all(
+            (b.width_mm <= self.die_width_mm and b.height_mm <= self.die_height_mm)
+            or (b.height_mm <= self.die_width_mm and b.width_mm <= self.die_height_mm)
+            for b in self.blocks
+        )
+
+    def report(self) -> list[tuple[str, float]]:
+        return [(b.name, b.area_mm2) for b in self.blocks]

@@ -1,0 +1,136 @@
+"""Area model of the memory banks (paper figure 7).
+
+A pipelined memory of ``B`` banks, each ``w`` bits wide and ``A`` words deep,
+occupies:
+
+* ``B * A * w`` bit cells;
+* **one** address decoder (first bank) plus ``B - 1`` decoded-address
+  pipeline registers (figure 7b) — each pipeline register is 2.3 x smaller
+  than a decoder (paper §4.4).  The traditional alternative (figure 7a) uses
+  ``B`` full decoders; both variants are modeled so the optimization can be
+  priced (bench E9 ablation).
+
+A *wide* memory of the same capacity has the same bit cells and one decoder,
+but its word lines span ``B * w`` bit cells (the RC-delay cost priced by
+:mod:`repro.vlsi.timing`); in practice it must be split into blocks with
+replicated decoders, converging to the figure-7a floorplan — which is the
+paper's §4.3 argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vlsi.technology import Technology
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryArea:
+    """Area breakdown (mm^2) of a memory organization."""
+
+    bits_mm2: float
+    decoders_mm2: float
+    pipeline_regs_mm2: float
+    total_mm2: float
+    width_mm: float  # storage-array width (bit columns)
+    height_mm: float  # storage-array height (word rows)
+
+
+def _mm2(um2: float) -> float:
+    return um2 / 1e6
+
+
+def bank_dimensions_um(tech: Technology, addresses: int, width_bits: int) -> tuple[float, float]:
+    """(width, height) in um of one bank's storage array."""
+    return (width_bits * tech.bit_width_um(), addresses * tech.bit_height_um())
+
+
+def decoder_area_um2(tech: Technology, addresses: int) -> float:
+    """One address decoder column: ``decoder_width_bits`` bit-widths wide,
+    spanning all word rows."""
+    width = tech.decoder_width_bits * tech.bit_width_um()
+    return width * addresses * tech.bit_height_um()
+
+
+def pipereg_area_um2(tech: Technology, addresses: int) -> float:
+    """One decoded-address pipeline register column (figure 7b):
+    ``decoder / 2.3`` (paper §4.4)."""
+    return decoder_area_um2(tech, addresses) / tech.decoder_to_pipereg_ratio
+
+
+def pipelined_memory_area(
+    tech: Technology,
+    n_banks: int,
+    addresses: int,
+    width_bits: int,
+    address_pipeline: bool = True,
+) -> MemoryArea:
+    """Total memory-block area of a pipelined memory.
+
+    ``address_pipeline=False`` prices the figure-7a variant (a full decoder
+    per bank) for the ablation bench.
+    """
+    if n_banks < 1 or addresses < 1 or width_bits < 1:
+        raise ValueError("banks, addresses and width must all be >= 1")
+    bw, bh = bank_dimensions_um(tech, addresses, width_bits)
+    bits = n_banks * bw * bh
+    if address_pipeline:
+        decoders = decoder_area_um2(tech, addresses)
+        piperegs = (n_banks - 1) * pipereg_area_um2(tech, addresses)
+    else:
+        decoders = n_banks * decoder_area_um2(tech, addresses)
+        piperegs = 0.0
+    total = bits + decoders + piperegs
+    width_mm = (n_banks * bw + _decoder_strip_width(tech, n_banks, address_pipeline)) / 1e3
+    return MemoryArea(
+        bits_mm2=_mm2(bits),
+        decoders_mm2=_mm2(decoders),
+        pipeline_regs_mm2=_mm2(piperegs),
+        total_mm2=_mm2(total),
+        width_mm=width_mm,
+        height_mm=bh / 1e3,
+    )
+
+
+def _decoder_strip_width(tech: Technology, n_banks: int, address_pipeline: bool) -> float:
+    dec = tech.decoder_width_bits * tech.bit_width_um()
+    if address_pipeline:
+        return dec + (n_banks - 1) * dec / tech.decoder_to_pipereg_ratio
+    return n_banks * dec
+
+
+def wide_memory_area(
+    tech: Technology, addresses: int, total_width_bits: int
+) -> MemoryArea:
+    """A single wide memory of ``total_width_bits`` columns, one decoder.
+
+    Same bit count as the pipelined memory of equal capacity; the missing
+    pipeline registers are its (small) area advantage, its word-line RC its
+    (large) speed disadvantage — see :func:`repro.vlsi.timing.wordline_delay`.
+    """
+    bw, bh = bank_dimensions_um(tech, addresses, total_width_bits)
+    bits = bw * bh
+    decoders = decoder_area_um2(tech, addresses)
+    return MemoryArea(
+        bits_mm2=_mm2(bits),
+        decoders_mm2=_mm2(decoders),
+        pipeline_regs_mm2=0.0,
+        total_mm2=_mm2(bits + decoders),
+        width_mm=(bw + tech.decoder_width_bits * tech.bit_width_um()) / 1e3,
+        height_mm=bh / 1e3,
+    )
+
+
+def megacell_area_mm2(tech: Technology, addresses: int, width_bits: int) -> float:
+    """Area of one compiled SRAM megacell (decoders amortized in the unit
+    bit area) — the Telegraphos II building block."""
+    return _mm2(addresses * width_bits * tech.megacell_bit_area_um2 * tech.f2)
+
+
+def shift_register_buffer_area_mm2(
+    tech: Technology, n_banks: int, addresses: int, width_bits: int
+) -> float:
+    """§5.3: the same capacity built of dynamic shift registers — 4x the
+    3T-dynamic-RAM bit area, and it would preclude cut-through."""
+    bits = n_banks * addresses * width_bits
+    return _mm2(bits * tech.bit_area() * tech.shift_register_bit_factor)

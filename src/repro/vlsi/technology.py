@@ -1,0 +1,155 @@
+"""Technology and layout-style parameters for the silicon cost models.
+
+The paper's §4–§5 arguments are first-order VLSI arithmetic over a handful of
+unit sizes: the SRAM bit cell, the address decoder versus the decoded-address
+pipeline register, datapath wire pitch, and standard-cell versus full-custom
+density.  This module pins those units down, **calibrated against the die
+numbers printed in the paper**:
+
+* Telegraphos II (0.7 um standard cell): a 256 x 16 compiled SRAM megacell is
+  1.5 x 0.9 mm^2 (=> 330 um^2/bit, decoders included); buffer peripheral
+  region 15 mm^2 + 5.5 mm^2 bus routing for a 4x4, 16-bit, 8-stage switch.
+* Telegraphos III (1.0 um full custom): 64 Kbit of memory in ~36 mm^2
+  (=> ~550 um^2/bit including the decoder column), peripheral datapath
+  ~9 mm^2 for 8x8 x 16 bit; a decoded-address pipeline register is 2.3 x
+  smaller than an address decoder; worst-case clock 16 ns, typical 10 ns.
+
+Everything else in §4.2/§4.4/§5 (the 41 mm^2 standard-cell estimate, the
+"factor of 22", the 18 x standard-cell blow-up at 8x8, the 13 vs 9 mm^2
+wide-vs-pipelined comparison, the 16 x PRIZMA crossbar factor) must then
+*come out* of the model — that is the reproduction, exercised by benches
+E8-E12.
+
+Areas scale with the square of the drawn feature size ``f`` (in um); all
+unit constants below are normalized to ``f = 1 um``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Style(enum.Enum):
+    """Layout style: full-custom datapaths pack ~4.3x tighter per dimension."""
+
+    FULL_CUSTOM = "full_custom"
+    STANDARD_CELL = "standard_cell"
+
+
+@dataclass(frozen=True, slots=True)
+class Technology:
+    """A CMOS process + layout-style operating point.
+
+    Unit constants (at f = 1 um, scale by f^2 for areas, f for pitches):
+
+    bit_area_um2:
+        SRAM bit-cell area excluding decoders (full-custom 6T + overhead).
+    megacell_bit_area_um2:
+        Compiled-SRAM effective area per bit, decoders amortized in
+        (calibrated: 1.35 mm^2 / 4096 bits at 0.7 um => 330 um^2 => 673 f^2).
+    datapath_wire_pitch_um:
+        Pitch of one horizontal link wire over the peripheral datapath
+        (calibrated from Telegraphos III: 9 mm^2 = buffer width x 256 wires).
+    decoder_width_bits:
+        Address-decoder column width in units of bit-cell widths.
+    decoder_to_pipereg_ratio:
+        Decoder width / decoded-address pipeline register width (paper: 2.3).
+    std_cell_linear_factor:
+        Linear density penalty of standard cells vs full custom for the
+        peripheral datapath (4.06 => 16.5x in area; calibrated so that the
+        4x4 peripheral at 1.0 um std cell is the paper's 41 mm^2 and the
+        Telegraphos II peripheral+routing is its published 20.5 mm^2).
+    clock_fc_worst_ns / clock_typ_ratio:
+        Worst-case clock of the full-custom datapath at f = 1 um (16 ns) and
+        worst/typical derating (1.6: 16 ns -> 10 ns).
+    std_cell_clock_factor:
+        Clock penalty of standard cells (calibrated: Telegraphos II runs at
+        40 ns in 0.7 um std cell => 40 / (16 * 0.7) = 3.57).
+    """
+
+    name: str
+    feature_um: float
+    style: Style
+    bit_area_um2: float = 500.0
+    megacell_bit_area_um2: float = 673.0
+    datapath_wire_pitch_um: float = 5.87
+    decoder_width_bits: float = 3.0
+    decoder_to_pipereg_ratio: float = 2.3
+    std_cell_linear_factor: float = 4.06
+    clock_fc_worst_ns: float = 16.0
+    clock_typ_ratio: float = 1.6
+    std_cell_clock_factor: float = 3.57
+    # §5.3: one dynamic shift-register bit is 4x a 3T dynamic RAM bit.
+    shift_register_bit_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.feature_um <= 0:
+            raise ValueError(f"feature size must be positive, got {self.feature_um}")
+
+    # -- scaled unit sizes -----------------------------------------------------
+    @property
+    def f2(self) -> float:
+        return self.feature_um * self.feature_um
+
+    def bit_area(self) -> float:
+        """Storage bit area in um^2 for this style (decoders excluded)."""
+        if self.style is Style.FULL_CUSTOM:
+            return self.bit_area_um2 * self.f2
+        return self.megacell_bit_area_um2 * self.f2
+
+    def bit_width_um(self) -> float:
+        """Bit-cell width (um); cells are modeled square."""
+        return self.bit_area() ** 0.5
+
+    def bit_height_um(self) -> float:
+        return self.bit_area() ** 0.5
+
+    def wire_pitch_um(self) -> float:
+        """Peripheral datapath wire pitch (um), style-adjusted."""
+        base = self.datapath_wire_pitch_um * self.feature_um
+        if self.style is Style.STANDARD_CELL:
+            return base * self.std_cell_linear_factor
+        return base
+
+    def datapath_bit_pitch_um(self) -> float:
+        """Horizontal pitch of one datapath bit column, style-adjusted."""
+        base = self.bit_width_um()
+        if self.style is Style.STANDARD_CELL:
+            return base * self.std_cell_linear_factor
+        return base
+
+    def clock_ns(self, worst_case: bool = True) -> float:
+        """Datapath clock cycle for this technology/style."""
+        t = self.clock_fc_worst_ns * self.feature_um
+        if self.style is Style.STANDARD_CELL:
+            t *= self.std_cell_clock_factor
+        if not worst_case:
+            t /= self.clock_typ_ratio
+        return t
+
+
+# -- the paper's three operating points ------------------------------------------
+TELEGRAPHOS_II_TECH = Technology(
+    name="ES2 0.7um standard cell (Telegraphos II)",
+    feature_um=0.7,
+    style=Style.STANDARD_CELL,
+)
+
+TELEGRAPHOS_III_TECH = Technology(
+    name="ES2 1.0um full custom (Telegraphos III)",
+    feature_um=1.0,
+    style=Style.FULL_CUSTOM,
+)
+
+
+def scaled(tech: Technology, feature_um: float, style: Style | None = None) -> Technology:
+    """The same unit constants at a different feature size / style."""
+    from dataclasses import replace
+
+    return replace(
+        tech,
+        name=f"{tech.name} scaled to {feature_um}um",
+        feature_um=feature_um,
+        style=tech.style if style is None else style,
+    )

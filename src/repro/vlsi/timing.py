@@ -1,0 +1,97 @@
+"""Timing models: clock cycle and word-line RC delay (paper §4.3, §4.4).
+
+Two levels of model:
+
+* a calibrated **clock model** — worst-case 16 ns / typical 10 ns for the
+  1.0 um full-custom datapath (HSPICE-validated in the paper), scaling
+  linearly with feature size and by a fixed factor for standard cells
+  (Telegraphos II: 40 ns at 0.7 um standard cell);
+
+* an Elmore **word-line model** for the §4.3 argument: the distributed RC
+  delay of a word line grows with the *square* of its length, so the wide
+  memory's ``B*w``-bit word line is ``B^2`` x slower to activate than the
+  pipelined memory's ``w``-bit one — which is why real wide memories are
+  split into blocks with replicated decoders, arriving at the figure-7a
+  floorplan anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.vlsi.technology import Technology
+
+# Per-um wire parasitics at f = 1 um (polysilicon word line with metal strap
+# is ~10x better; these are order-of-magnitude constants for the *ratio*
+# argument, which is what §4.3 uses them for).
+_R_PER_UM_OHM = 0.15
+_C_PER_UM_FF = 0.2
+_DRIVER_R_OHM = 2_000.0
+_CELL_LOAD_FF = 2.0  # gate load of one bit cell on the word line
+
+
+@dataclass(frozen=True, slots=True)
+class WordlineDelay:
+    """Elmore delay breakdown of one word line."""
+
+    length_um: float
+    wire_delay_ns: float  # distributed RC: 0.38 * r * c * L^2
+    driver_delay_ns: float  # R_drv * C_total
+    total_ns: float
+
+
+def wordline_delay(tech: Technology, span_bits: int) -> WordlineDelay:
+    """Elmore delay of a word line spanning ``span_bits`` bit cells."""
+    if span_bits < 1:
+        raise ValueError(f"word line must span >= 1 bit, got {span_bits}")
+    length = span_bits * tech.bit_width_um()
+    r = _R_PER_UM_OHM / tech.feature_um  # thinner wires, higher resistance
+    c = _C_PER_UM_FF * 1.0  # per-um capacitance roughly feature-independent
+    wire = 0.38 * r * c * length * length * 1e-6  # ohm*fF*um^2 -> ns
+    total_c = c * length + span_bits * _CELL_LOAD_FF
+    driver = _DRIVER_R_OHM * total_c * 1e-6
+    return WordlineDelay(
+        length_um=length,
+        wire_delay_ns=wire,
+        driver_delay_ns=driver,
+        total_ns=wire + driver,
+    )
+
+
+def wide_vs_pipelined_wordline_ratio(tech: Technology, n: int, width_bits: int) -> float:
+    """Word-line activation delay ratio, wide memory / pipelined memory."""
+    wide = wordline_delay(tech, 2 * n * width_bits)
+    pipe = wordline_delay(tech, width_bits)
+    return wide.total_ns / pipe.total_ns
+
+
+def optimal_split(tech: Technology, total_bits: int, budget_ns: float) -> int:
+    """Blocks a wide word line must be split into to meet a delay budget.
+
+    Each block needs its own decoder — the §4.3 observation that wide
+    memories converge to the pipelined floorplan (figure 7a).
+    """
+    for blocks in range(1, total_bits + 1):
+        span = math.ceil(total_bits / blocks)
+        if wordline_delay(tech, span).total_ns <= budget_ns:
+            return blocks
+    return total_bits
+
+
+def clock_cycle_ns(tech: Technology, worst_case: bool = True) -> float:
+    """Calibrated datapath clock for a pipelined-memory switch."""
+    return tech.clock_ns(worst_case)
+
+
+def link_throughput_gbps(tech: Technology, width_bits: int, worst_case: bool = True) -> float:
+    """Per-link throughput: ``w`` bits every clock (paper: 16 bit / 16 ns =
+    1 Gb/s worst case for Telegraphos III)."""
+    return width_bits / clock_cycle_ns(tech, worst_case)
+
+
+def aggregate_buffer_throughput_gbps(
+    tech: Technology, n_banks: int, width_bits: int, worst_case: bool = True
+) -> float:
+    """Shared-buffer aggregate throughput: one word per bank per cycle."""
+    return n_banks * width_bits / clock_cycle_ns(tech, worst_case)

@@ -1,0 +1,64 @@
+"""Tests for the output-queue delay distribution model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay_distribution import (
+    batch_position_pmf,
+    delay_pmf,
+    delay_quantile,
+    mean_delay,
+)
+from repro.analysis.queueing import output_queue_wait
+
+
+def test_batch_position_pmf_normalized():
+    u = batch_position_pmf(8, 0.7)
+    assert u.sum() == pytest.approx(1.0)
+    assert (u >= 0).all()
+    # positions are more likely small (size-biased but front-loaded)
+    assert u[0] == max(u)
+
+
+def test_batch_position_requires_load():
+    with pytest.raises(ValueError):
+        batch_position_pmf(8, 0.0)
+
+
+@pytest.mark.parametrize("n,p", [(4, 0.5), (8, 0.8), (16, 0.9)])
+def test_mean_matches_closed_form(n, p):
+    assert mean_delay(n, p) == pytest.approx(output_queue_wait(n, p), rel=1e-3)
+
+
+def test_quantiles_monotone_in_load():
+    p99 = [delay_quantile(8, p, 0.99) for p in (0.5, 0.7, 0.9)]
+    assert p99 == sorted(p99)
+    assert p99[0] < p99[-1]
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        delay_quantile(8, 0.5, 0.0)
+
+
+def test_distribution_matches_simulation():
+    """Simulated delay histogram vs analytic PMF (same conventions)."""
+    from repro.switches import OutputQueued
+    from repro.traffic import BernoulliUniform
+
+    n, p = 8, 0.8
+    sw = OutputQueued(n, n, warmup=3000, seed=1)
+    sw.run(BernoulliUniform(n, n, p, seed=2), 120_000)
+    sim = sw.stats.delay_hist.pmf()
+    ana = delay_pmf(n, p)
+    for d in range(8):
+        assert sim.get(d, 0.0) == pytest.approx(float(ana[d]), abs=0.02)
+    assert sw.stats.delay_hist.quantile(0.99) == pytest.approx(
+        delay_quantile(n, p, 0.99), abs=2
+    )
+
+
+def test_pmf_sums_to_one():
+    d = delay_pmf(8, 0.6)
+    assert d.sum() == pytest.approx(1.0)
+    assert (np.diff(np.cumsum(d)) >= -1e-15).all()

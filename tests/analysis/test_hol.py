@@ -1,0 +1,46 @@
+"""Tests for the HoL saturation analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.hol import (
+    KAROL_TABLE,
+    hol_saturation,
+    hol_saturation_asymptotic,
+    hol_saturation_montecarlo,
+)
+
+
+def test_asymptotic_value():
+    assert hol_saturation_asymptotic() == pytest.approx(2 - math.sqrt(2))
+    assert hol_saturation_asymptotic() == pytest.approx(0.5858, abs=1e-4)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_montecarlo_matches_karol_table(n):
+    est = hol_saturation_montecarlo(n, slots=60_000, seed=1)
+    assert est == pytest.approx(KAROL_TABLE[n], abs=0.01)
+
+
+def test_large_n_approaches_asymptote():
+    est = hol_saturation_montecarlo(64, slots=20_000, seed=2)
+    assert est == pytest.approx(hol_saturation_asymptotic(), abs=0.02)
+
+
+def test_monotone_decreasing_in_n():
+    values = [hol_saturation_montecarlo(n, slots=30_000, seed=3) for n in (2, 4, 16)]
+    assert values[0] > values[1] > values[2]
+
+
+def test_lookup_prefers_table():
+    assert hol_saturation(4) == KAROL_TABLE[4]
+
+
+def test_n1_is_trivially_one():
+    assert hol_saturation_montecarlo(1, slots=2000, warmup=100, seed=4) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        hol_saturation_montecarlo(0)

@@ -1,0 +1,155 @@
+"""Tests for staggered-latency, quantum, knockout, and Little's-law helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.knockout import (
+    effective_load,
+    knockout_loss,
+    knockout_loss_poisson,
+    paths_for_loss,
+    survivors_pmf,
+)
+from repro.analysis.littles_law import (
+    conservation_check,
+    littles_law_check,
+    throughput_delay_consistency,
+)
+from repro.analysis.quantum import (
+    aggregate_throughput_gbps,
+    quantum_table,
+    required_width_bits,
+    telegraphos3_throughput_check,
+)
+from repro.analysis.staggered import (
+    derivation_table,
+    expected_competing_heads,
+    expected_extra_latency,
+    head_probability,
+)
+
+
+class TestStaggered:
+    def test_formula_value_at_40_percent(self):
+        """The paper: 'For 40% load, this amounts to one tenth of a clock
+        cycle, i.e. negligible.'"""
+        assert expected_extra_latency(0.4, 8) == pytest.approx(0.0875, abs=1e-4)
+        assert expected_extra_latency(0.4, 1000) == pytest.approx(0.1, abs=1e-3)
+
+    def test_head_probability(self):
+        assert head_probability(0.4, 8) == pytest.approx(0.4 / 16)
+
+    def test_consistency_of_derivation(self):
+        p, n = 0.6, 8
+        assert expected_extra_latency(p, n) == pytest.approx(
+            expected_competing_heads(p, n) / 2
+        )
+
+    def test_table(self):
+        rows = derivation_table(8, [0.2, 0.4])
+        assert len(rows) == 2
+        assert rows[1]["extra_cycles"] > rows[0]["extra_cycles"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_extra_latency(1.5, 8)
+        with pytest.raises(ValueError):
+            expected_extra_latency(0.5, 0)
+
+
+class TestQuantum:
+    def test_paper_range(self):
+        """§3.5: 256-1024 bit widths at 5 ns -> 50-200 Gb/s aggregate."""
+        assert aggregate_throughput_gbps(256, 5.0) == pytest.approx(51.2)
+        assert aggregate_throughput_gbps(1024, 5.0) == pytest.approx(204.8)
+
+    def test_table_rows(self):
+        rows = quantum_table([32, 64], cycle_ns=5.0, n_links=16)
+        assert rows[0].aggregate_gbps == pytest.approx(51.2)
+        assert rows[1].aggregate_gbps == pytest.approx(102.4)
+        assert rows[0].aggregate_gbytes == pytest.approx(6.4)
+
+    def test_half_quantum_doubles_width(self):
+        full = quantum_table([32], half_quantum=False)[0]
+        half = quantum_table([32], half_quantum=True)[0]
+        assert half.width_bits == 2 * full.width_bits
+
+    def test_required_width(self):
+        # 16+16 links at 1 Gb/s with 5 ns cycle: 32 Gb/s * 5 = 160 bits.
+        assert required_width_bits(16, 1.0, 5.0) == 160
+
+    def test_telegraphos3_check(self):
+        r = telegraphos3_throughput_check()
+        assert r["per_link_worst_gbps"] == pytest.approx(1.0)
+        assert r["per_link_typical_gbps"] == pytest.approx(1.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_throughput_gbps(0, 5.0)
+        with pytest.raises(ValueError):
+            aggregate_throughput_gbps(256, 0.0)
+
+
+class TestKnockout:
+    def test_l8_design_point(self):
+        """[YeHA87]: L=8 keeps loss < ~1e-6 at full load, any size."""
+        assert knockout_loss(16, 1.0, 8) < 2e-6
+        assert knockout_loss_poisson(1.0, 8) < 2e-6
+
+    def test_loss_decreases_with_paths(self):
+        losses = [knockout_loss(16, 1.0, l) for l in (1, 2, 4, 8)]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_paths_for_loss(self):
+        assert paths_for_loss(16, 1.0, 1e-6) <= 8
+
+    def test_survivors_pmf_normalized(self):
+        pmf = survivors_pmf(16, 0.9, 4)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 5
+
+    def test_effective_load(self):
+        assert effective_load(16, 1.0, 8) == pytest.approx(1.0, abs=1e-5)
+        assert effective_load(16, 1.0, 1) < 0.7
+
+    def test_zero_load(self):
+        assert knockout_loss(16, 0.0, 4) == 0.0
+
+
+class TestLittlesLaw:
+    def test_holds_for_output_queued_switch(self):
+        from repro.switches import OutputQueued
+        from repro.traffic import BernoulliUniform
+
+        sw = OutputQueued(8, 8, warmup=2000, seed=1)
+        sw.sample_occupancy = True
+        sw.run(BernoulliUniform(8, 8, 0.7, seed=2), 40_000)
+        report = littles_law_check(sw)
+        assert report.holds, report
+
+    def test_requires_samples(self):
+        from repro.switches import OutputQueued
+
+        with pytest.raises(ValueError):
+            littles_law_check(OutputQueued(2, 2))
+
+    def test_conservation(self):
+        from repro.switches import SharedBuffer
+        from repro.traffic import BernoulliUniform
+
+        sw = SharedBuffer(4, 4, seed=3)
+        sw.run(BernoulliUniform(4, 4, 0.8, seed=4), 3000)
+        assert conservation_check(sw.stats, sw.occupancy())
+
+    def test_conservation_requires_no_warmup(self):
+        from repro.switches import SharedBuffer
+
+        sw = SharedBuffer(2, 2, warmup=10)
+        with pytest.raises(ValueError):
+            conservation_check(sw.stats, 0)
+
+    def test_throughput_delay_consistency_nan_when_empty(self):
+        from repro.sim.stats import SwitchStats
+
+        assert math.isnan(throughput_delay_consistency(SwitchStats(n_outputs=1)))

@@ -1,0 +1,75 @@
+"""Property-based tests for the analytic models: laws that hold everywhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.buffer_sizing import input_smoothing_loss, output_queue_loss
+from repro.analysis.knockout import knockout_loss
+from repro.analysis.queueing import (
+    batch_pmf,
+    output_queue_wait,
+    stationary_queue_distribution,
+)
+from repro.analysis.staggered import expected_extra_latency
+
+loads = st.floats(0.05, 0.95)
+sizes = st.integers(2, 32)
+
+
+@given(n=sizes, p=loads)
+@settings(max_examples=40, deadline=None)
+def test_batch_pmf_valid_distribution(n, p):
+    a = batch_pmf(n, p)
+    assert a.sum() == pytest.approx(1.0)
+    assert (a >= 0).all()
+    assert float(np.arange(len(a)) @ a) == pytest.approx(p, rel=1e-9)
+
+
+@given(n=sizes, p=st.floats(0.05, 0.9))
+@settings(max_examples=20, deadline=None)
+def test_stationary_distribution_mean_stable(n, p):
+    q = stationary_queue_distribution(n, p, truncate=512)
+    assert q.sum() == pytest.approx(1.0)
+    # occupancy probability decreasing in the tail
+    tail = q[50:]
+    assert (np.diff(tail[tail > 1e-14]) <= 1e-14).all()
+
+
+@given(n=sizes, p1=loads, p2=loads)
+@settings(max_examples=40, deadline=None)
+def test_wait_monotone_in_load(n, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    assert output_queue_wait(n, lo) <= output_queue_wait(n, hi)
+
+
+@given(n=sizes, p=loads, cap=st.integers(1, 40))
+@settings(max_examples=25, deadline=None)
+def test_output_loss_bounded_and_monotone(n, p, cap):
+    loss = output_queue_loss(n, p, cap)
+    assert 0.0 <= loss <= 1.0
+    assert output_queue_loss(n, p, cap + 5) <= loss + 1e-12
+
+
+@given(n=sizes, p=loads, l_paths=st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_knockout_loss_bounds(n, p, l_paths):
+    loss = knockout_loss(n, p, min(l_paths, n))
+    assert 0.0 <= loss <= 1.0
+    if l_paths >= n:
+        assert loss == pytest.approx(0.0, abs=1e-12)
+
+
+@given(n=sizes, p=loads, b=st.integers(1, 60))
+@settings(max_examples=40, deadline=None)
+def test_smoothing_loss_monotone_in_frame(n, p, b):
+    assert input_smoothing_loss(n, p, b + 10) <= input_smoothing_loss(n, p, b) + 1e-12
+
+
+@given(n=sizes, p=st.floats(0.0, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_staggered_formula_bounds(n, p):
+    extra = expected_extra_latency(p, n)
+    assert 0.0 <= extra <= 0.25  # at most a quarter cycle, ever
+    assert extra <= p / 4 + 1e-12

@@ -1,0 +1,97 @@
+"""Tests for the discrete-time queueing models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    batch_pmf,
+    convolve_queues,
+    md1_wait,
+    mean_queue_length,
+    output_queue_wait,
+    stationary_queue_distribution,
+    tail_probability,
+)
+
+
+def test_batch_pmf_is_binomial():
+    a = batch_pmf(4, 0.8)
+    assert a.sum() == pytest.approx(1.0)
+    assert len(a) == 5
+    # mean = n * p/n = p
+    assert (np.arange(5) * a).sum() == pytest.approx(0.8)
+
+
+def test_batch_pmf_validation():
+    with pytest.raises(ValueError):
+        batch_pmf(0, 0.5)
+    with pytest.raises(ValueError):
+        batch_pmf(4, 1.5)
+
+
+def test_stationary_distribution_normalized():
+    q = stationary_queue_distribution(8, 0.7)
+    assert q.sum() == pytest.approx(1.0)
+    assert (q >= 0).all()
+
+
+def test_stationary_rejects_unstable():
+    with pytest.raises(ValueError):
+        stationary_queue_distribution(8, 1.0)
+
+
+def test_littles_law_links_mean_queue_and_wait():
+    """L = lambda * W ties the numeric distribution to the closed form."""
+    n, p = 8, 0.7
+    l_avg = mean_queue_length(n, p)
+    w = output_queue_wait(n, p)
+    assert l_avg == pytest.approx(p * w, rel=0.02)
+
+
+@pytest.mark.parametrize("p", [0.3, 0.6, 0.9])
+def test_karol_wait_approaches_md1(p):
+    """output_queue_wait(n -> inf) == M/D/1 wait."""
+    assert output_queue_wait(10**6, p) == pytest.approx(md1_wait(p), rel=1e-4)
+    assert output_queue_wait(2, p) == pytest.approx(md1_wait(p) / 2, rel=1e-9)
+
+
+def test_wait_diverges_at_full_load():
+    assert output_queue_wait(8, 1.0) == float("inf")
+    assert md1_wait(1.0) == float("inf")
+
+
+def test_convolution_mean_additivity():
+    q = stationary_queue_distribution(8, 0.6, truncate=512)
+    total = convolve_queues(q, 8)
+    mean_single = float(np.arange(len(q)) @ q)
+    mean_total = float(np.arange(len(total)) @ total)
+    assert mean_total == pytest.approx(8 * mean_single, rel=0.02)
+
+
+def test_convolution_of_one_is_identity():
+    q = stationary_queue_distribution(4, 0.5, truncate=256)
+    total = convolve_queues(q, 1)
+    assert np.allclose(total[: len(q)], q, atol=1e-9)
+
+
+def test_tail_probability_edges():
+    dist = np.array([0.5, 0.3, 0.2])
+    assert tail_probability(dist, -1) == 1.0
+    assert tail_probability(dist, 0) == pytest.approx(0.5)
+    assert tail_probability(dist, 1) == pytest.approx(0.2)
+    assert tail_probability(dist, 5) == 0.0
+
+
+def test_distribution_matches_simulation():
+    """The analytic queue-length distribution matches a simulated output
+    queue (same arrivals-then-service convention)."""
+    from repro.switches import OutputQueued
+    from repro.traffic import BernoulliUniform
+
+    n, p = 8, 0.7
+    sw = OutputQueued(n, n, warmup=2000, seed=1)
+    sw.sample_occupancy = True
+    sw.run(BernoulliUniform(n, n, p, seed=2), 60_000)
+    sim_mean = np.mean(sw.occupancy_samples) / n  # per output
+    ana_mean = mean_queue_length(n, p)
+    assert sim_mean == pytest.approx(ana_mean, rel=0.08)

@@ -1,0 +1,12 @@
+"""Shared test configuration: determinism and common fixtures."""
+
+import pytest
+
+from repro.sim.packet import reset_packet_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Make packet uids deterministic within each test."""
+    reset_packet_ids()
+    yield

@@ -1,0 +1,134 @@
+"""Tests for the wave arbiter and the buffer manager."""
+
+import pytest
+
+from repro.core.arbiter import Priority, ReadCandidate, WaveArbiter, WriteRequest
+from repro.core.buffer_manager import BufferFullError, BufferManager
+
+
+def _w(link, dst, uid, arrival):
+    return WriteRequest(in_link=link, dst=dst, uid=uid, arrival_cycle=arrival)
+
+
+class TestWaveArbiter:
+    def test_idle_without_candidates(self):
+        arb = WaveArbiter(2, 2, 4)
+        assert arb.decide(0, [], []).kind == "idle"
+
+    def test_reads_win_by_default(self):
+        """The paper: 'normally, higher priority is given to the outgoing
+        links'."""
+        arb = WaveArbiter(2, 2, 4)
+        d = arb.decide(
+            10, [ReadCandidate(1, queued_since=5)], [_w(0, 0, 1, 9)]
+        )
+        assert d.kind == "read" and d.out_link == 1
+
+    def test_writes_first_ablation(self):
+        arb = WaveArbiter(2, 2, 4, priority=Priority.WRITES_FIRST)
+        d = arb.decide(
+            10, [ReadCandidate(1, queued_since=5)], [_w(0, 0, 1, 9)]
+        )
+        assert d.kind == "write"
+
+    def test_oldest_first_ablation(self):
+        # Keep the write inside its window (deadline 8+4=12) so the
+        # deadline override stays out of the picture.
+        arb = WaveArbiter(2, 2, 4, priority=Priority.OLDEST_FIRST)
+        d = arb.decide(10, [ReadCandidate(1, queued_since=9)], [_w(0, 0, 1, 8)])
+        assert d.kind == "write"  # write requested at 8, read queued at 9
+        d = arb.decide(11, [ReadCandidate(1, queued_since=7)], [_w(0, 0, 1, 8)])
+        assert d.kind == "read"  # read queued at 7 is older
+
+    def test_deadline_write_overrides_reads(self):
+        """A store at its deadline must beat departures, or a latch overruns."""
+        arb = WaveArbiter(2, 2, depth=4)
+        w = _w(0, 0, 1, arrival=6)  # deadline = 6 + 4 = 10
+        d = arb.decide(10, [ReadCandidate(1, queued_since=0)], [w])
+        assert d.kind == "write" and d.write is w
+
+    def test_deadline_write_still_cuts_through_if_possible(self):
+        arb = WaveArbiter(2, 2, depth=4)
+        w = _w(0, 1, 1, arrival=6)
+        ct = ReadCandidate(1, queued_since=6, cut_through_write=w)
+        d = arb.decide(10, [ct], [w])
+        assert d.kind == "write_ct" and d.out_link == 1
+
+    def test_cut_through_decision(self):
+        arb = WaveArbiter(2, 2, 4)
+        w = _w(0, 1, 1, arrival=5)
+        d = arb.decide(7, [ReadCandidate(1, queued_since=5, cut_through_write=w)], [w])
+        assert d.kind == "write_ct"
+        assert d.write is w
+
+    def test_round_robin_fairness_over_outputs(self):
+        arb = WaveArbiter(4, 4, 8)
+        reads = [ReadCandidate(j, queued_since=0) for j in range(4)]
+        picks = [arb.decide(t, list(reads), []).out_link for t in range(8)]
+        assert sorted(picks[:4]) == [0, 1, 2, 3]  # all served within one round
+
+    def test_earliest_deadline_first_among_writes(self):
+        arb = WaveArbiter(4, 4, 8)
+        writes = [_w(0, 0, 1, 5), _w(1, 1, 2, 3), _w(2, 2, 3, 4)]
+        d = arb.decide(6, [], writes)
+        assert d.write.uid == 2  # arrival 3 => earliest deadline
+
+
+class TestBufferManager:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferManager(0, 4)
+
+    def test_allocate_release_cycle(self):
+        bm = BufferManager(2, 2)
+        rec = bm.allocate(uid=1, src=0, dst=1, arrival=0, cycle=1)
+        assert bm.occupancy == 1
+        assert bm.head(1) is rec
+        got = bm.start_departure(1, cycle=5)
+        assert got is rec and rec.read_init_cycle == 5
+        bm.release(rec)
+        assert bm.occupancy == 0 and bm.free_count == 2
+
+    def test_fifo_order_per_output(self):
+        bm = BufferManager(4, 1)
+        recs = [bm.allocate(uid=i, src=0, dst=0, arrival=i, cycle=i) for i in range(3)]
+        assert bm.start_departure(0, 10) is recs[0]
+        assert bm.start_departure(0, 11) is recs[1]
+
+    def test_exhaustion_raises(self):
+        bm = BufferManager(1, 1)
+        bm.allocate(uid=1, src=0, dst=0, arrival=0, cycle=0)
+        with pytest.raises(BufferFullError):
+            bm.allocate(uid=2, src=0, dst=0, arrival=1, cycle=1)
+
+    def test_double_release_raises(self):
+        bm = BufferManager(1, 1)
+        rec = bm.allocate(uid=1, src=0, dst=0, arrival=0, cycle=0)
+        bm.start_departure(0, 1)
+        bm.release(rec)
+        with pytest.raises(ValueError):
+            bm.release(rec)
+
+    def test_departure_from_empty_queue_raises(self):
+        bm = BufferManager(2, 2)
+        with pytest.raises(ValueError):
+            bm.start_departure(0, 0)
+
+    def test_peak_occupancy_tracked(self):
+        bm = BufferManager(4, 1)
+        a = bm.allocate(uid=1, src=0, dst=0, arrival=0, cycle=0)
+        bm.allocate(uid=2, src=0, dst=0, arrival=0, cycle=1)
+        bm.start_departure(0, 2)
+        bm.release(a)
+        assert bm.peak_occupancy == 2
+
+    def test_addresses_recycled_fifo(self):
+        bm = BufferManager(2, 1)
+        a = bm.allocate(uid=1, src=0, dst=0, arrival=0, cycle=0)
+        addr_a = a.addr
+        bm.start_departure(0, 1)
+        bm.release(a)
+        b = bm.allocate(uid=2, src=0, dst=0, arrival=2, cycle=2)
+        c = bm.allocate(uid=3, src=0, dst=0, arrival=2, cycle=3)
+        assert {b.addr, c.addr} == {0, 1}
+        assert c.addr == addr_a  # the freed address went to the back

@@ -1,0 +1,195 @@
+"""Unit tests for the RTL-flavoured core components: banks, buses, latches,
+control pipeline."""
+
+import pytest
+
+from repro.core.bank import BankConflictError, MemoryBank
+from repro.core.bus import Bus, BusContentionError
+from repro.core.control import ControlPipeline, ControlWord, WaveOp
+from repro.core.latches import InputLatchRow, LatchOverrunError, OutputRegisterRow
+from repro.sim.packet import Word
+
+
+class TestMemoryBank:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBank(0, 16)
+        with pytest.raises(ValueError):
+            MemoryBank(8, 0)
+
+    def test_write_then_read(self):
+        b = MemoryBank(4, 16)
+        w = Word(1, 0, 0xBEEF)
+        b.write(0, 2, w)
+        assert b.read(1, 2) is w
+
+    def test_single_port_guard(self):
+        b = MemoryBank(4, 16)
+        b.write(5, 0, Word(1, 0, 1))
+        with pytest.raises(BankConflictError):
+            b.read(5, 0)
+
+    def test_time_must_be_monotonic(self):
+        b = MemoryBank(4, 16)
+        b.write(5, 0, Word(1, 0, 1))
+        with pytest.raises(ValueError):
+            b.write(4, 1, Word(1, 1, 2))
+
+    def test_address_range_checked(self):
+        b = MemoryBank(4, 16)
+        with pytest.raises(IndexError):
+            b.write(0, 4, Word(1, 0, 1))
+
+    def test_read_of_unwritten_address_raises(self):
+        b = MemoryBank(4, 16)
+        with pytest.raises(ValueError):
+            b.read(0, 1)
+
+    def test_access_counters(self):
+        b = MemoryBank(4, 16)
+        b.write(0, 0, Word(1, 0, 1))
+        b.read(1, 0)
+        assert b.writes == 1 and b.reads == 1
+
+    def test_capacity_bits(self):
+        assert MemoryBank(256, 16).capacity_bits == 4096
+
+
+class TestBus:
+    def test_drive_and_sample(self):
+        bus = Bus("b")
+        w = Word(1, 0, 7)
+        bus.drive(3, w, "latch")
+        assert bus.sample(3) is w
+
+    def test_contention_detected(self):
+        bus = Bus("b")
+        bus.drive(3, Word(1, 0, 7), "latch0")
+        with pytest.raises(BusContentionError):
+            bus.drive(3, Word(2, 0, 8), "latch1")
+
+    def test_floating_bus_sample_raises(self):
+        bus = Bus("b")
+        with pytest.raises(BusContentionError):
+            bus.sample(0)
+        bus.drive(0, Word(1, 0, 7), "x")
+        with pytest.raises(BusContentionError):
+            bus.sample(1)  # stale value from cycle 0
+
+    def test_new_cycle_new_driver_ok(self):
+        bus = Bus("b")
+        bus.drive(0, Word(1, 0, 7), "a")
+        bus.drive(1, Word(2, 0, 8), "b")
+        assert bus.sample(1).payload == 8
+
+
+class TestControlWord:
+    def test_write_needs_in_link(self):
+        with pytest.raises(ValueError):
+            ControlWord(WaveOp.WRITE, addr=0)
+
+    def test_read_needs_out_link(self):
+        with pytest.raises(ValueError):
+            ControlWord(WaveOp.READ, addr=0)
+
+    def test_read_must_not_name_in_link(self):
+        with pytest.raises(ValueError):
+            ControlWord(WaveOp.READ, addr=0, in_link=1, out_link=0)
+
+    def test_write_ct_needs_both(self):
+        cw = ControlWord(WaveOp.WRITE_CT, addr=3, in_link=1, out_link=2)
+        assert cw.in_link == 1 and cw.out_link == 2
+
+
+class TestControlPipeline:
+    def test_stage_k_is_delayed_stage_0(self):
+        """Figure 5's defining property: stage k control = stage 0 control
+        delayed k cycles."""
+        cp = ControlPipeline(4)
+        words = [
+            ControlWord(WaveOp.WRITE, addr=a, in_link=0, packet_uid=a)
+            for a in range(6)
+        ]
+        history = []
+        for t, w in enumerate(words):
+            cp.advance()
+            cp.initiate(w)
+            history.append([cp.stage(k) for k in range(4)])
+        for t in range(len(words)):
+            for k in range(4):
+                expected = words[t - k] if t - k >= 0 else None
+                assert history[t][k] is expected
+
+    def test_single_initiation_per_cycle(self):
+        cp = ControlPipeline(2)
+        cp.advance()
+        cp.initiate(ControlWord(WaveOp.READ, addr=0, out_link=0))
+        with pytest.raises(ValueError):
+            cp.initiate(ControlWord(WaveOp.READ, addr=1, out_link=1))
+
+    def test_idle_and_active(self):
+        cp = ControlPipeline(3)
+        assert cp.idle()
+        cp.advance()
+        cp.initiate(ControlWord(WaveOp.READ, addr=0, out_link=0))
+        assert not cp.idle()
+        assert [k for k, _ in cp.active()] == [0]
+        for _ in range(3):
+            cp.advance()
+        assert cp.idle()
+
+
+class TestInputLatchRow:
+    def test_load_consume_cycle(self):
+        row = InputLatchRow(0, 4)
+        w = Word(1, 2, 5)
+        row.load(2, w)
+        assert row.live_words() == 1
+        assert row.consume(2) is w
+        assert row.live_words() == 0
+
+    def test_overrun_detected(self):
+        """The paper's §3.2 invariant: the write wave must consume a latch
+        before the next packet's word overwrites it."""
+        row = InputLatchRow(0, 4)
+        row.load(0, Word(1, 0, 5))
+        with pytest.raises(LatchOverrunError):
+            row.load(0, Word(2, 0, 6))
+
+    def test_reload_after_consume_ok(self):
+        row = InputLatchRow(0, 4)
+        row.load(0, Word(1, 0, 5))
+        row.consume(0)
+        row.load(0, Word(2, 0, 6))  # no raise
+
+    def test_discard_clears_liveness(self):
+        row = InputLatchRow(0, 2)
+        row.load(1, Word(1, 1, 5))
+        row.discard(1)
+        row.load(1, Word(2, 1, 6))  # no raise
+
+    def test_consume_empty_raises(self):
+        with pytest.raises(ValueError):
+            InputLatchRow(0, 2).consume(0)
+
+    def test_bad_column_raises(self):
+        with pytest.raises(IndexError):
+            InputLatchRow(0, 2).load(5, Word(1, 0, 1))
+
+
+class TestOutputRegisterRow:
+    def test_one_cycle_skew(self):
+        row = OutputRegisterRow(2)
+        w = Word(1, 0, 9)
+        row.load(0, w, out_link=1)
+        assert row.driving(0) is None  # not yet committed
+        row.commit()
+        assert row.driving(0) == (w, 1)
+        row.commit()
+        assert row.driving(0) is None  # held one cycle only
+
+    def test_double_load_detected(self):
+        row = OutputRegisterRow(2)
+        row.load(0, Word(1, 0, 1), 0)
+        with pytest.raises(LatchOverrunError):
+            row.load(0, Word(2, 0, 2), 1)

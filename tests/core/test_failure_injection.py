@@ -1,0 +1,113 @@
+"""Failure injection: prove the structural checks actually catch faults.
+
+A checker that never fires is indistinguishable from no checker.  These
+tests *break* the hardware model deliberately — corrupt a memory cell, force
+bus contention, double-book the initiation slot — and assert the matching
+exception fires.  This is the test suite testing itself.
+"""
+
+import pytest
+
+from repro.core import (
+    BusContentionError,
+    LatchOverrunError,
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    TracePacketSource,
+)
+from repro.core.bank import BankConflictError
+from repro.core.control import ControlWord, WaveOp
+from repro.sim.packet import Word
+
+
+def _switch_with_one_packet(n=2, **cfg_kwargs):
+    cfg = PipelinedSwitchConfig(n=n, addresses=8, **cfg_kwargs)
+    src = TracePacketSource(
+        n_out=n, packet_words=cfg.packet_words, schedule={0: [(0, 1)]}
+    )
+    return PipelinedSwitch(cfg, src), cfg
+
+
+def test_corrupted_memory_cell_detected():
+    """Flip stored bits mid-flight: payload verification must catch it."""
+    sw, cfg = _switch_with_one_packet(cut_through=False)
+    # Let the store wave complete, then corrupt bank 0's copy.
+    sw.run(cfg.depth + 2)
+    addr = next(iter(sw._departing.values())).addr if sw._departing else 0
+    victim = sw.banks[0]._cells[addr] or next(
+        c for c in sw.banks[0]._cells if c is not None
+    )
+    victim.payload ^= 0x1  # single-bit upset
+    with pytest.raises(AssertionError, match="corrupted|consumed"):
+        sw.run(cfg.packet_words * 6)
+
+
+def test_double_wave_initiation_rejected():
+    sw, cfg = _switch_with_one_packet()
+    sw.control.advance()
+    sw.control.initiate(ControlWord(WaveOp.READ, 0, out_link=0))
+    with pytest.raises(ValueError, match="one initiation per cycle"):
+        sw.control.initiate(ControlWord(WaveOp.READ, 1, out_link=1))
+
+
+def test_forced_bus_contention_detected():
+    sw, cfg = _switch_with_one_packet()
+    sw.buses[0].drive(5, Word(1, 0, 1), "ghost-driver")
+    sw.cycle = 5
+    # Any wave trying to use stage-0's bus in cycle 5 now collides.
+    with pytest.raises(BusContentionError):
+        sw.buses[0].drive(5, Word(2, 0, 2), "real-driver")
+
+
+def test_forced_bank_conflict_detected():
+    sw, _ = _switch_with_one_packet()
+    bank = sw.banks[0]
+    bank.write(3, 0, Word(1, 0, 1))
+    with pytest.raises(BankConflictError):
+        bank.read(3, 0)
+
+
+def test_latch_overrun_detected_without_consume():
+    sw, cfg = _switch_with_one_packet()
+    row = sw.in_latches[0]
+    row.load(0, Word(1, 0, 1))
+    with pytest.raises(LatchOverrunError):
+        row.load(0, Word(2, 0, 2))
+
+
+def test_sink_catches_reordered_words():
+    sw, cfg = _switch_with_one_packet()
+    sink = sw.sinks[0]
+    sink.deliver(0, packet_uid=1, index=0, payload=0)
+    with pytest.raises(AssertionError, match="out of order"):
+        sink.deliver(1, packet_uid=1, index=2, payload=2)
+
+
+def test_misdelivered_packet_detected():
+    """Force a wave to the wrong output link: the dst check must fire."""
+    sw, cfg = _switch_with_one_packet()
+    real_initiate = sw.control.initiate
+
+    def sabotage(cw):
+        if cw.op is WaveOp.WRITE_CT:
+            cw = ControlWord(
+                cw.op, cw.addr, in_link=cw.in_link,
+                out_link=(cw.out_link + 1) % cfg.n, packet_uid=cw.packet_uid,
+            )
+        real_initiate(cw)
+
+    sw.control.initiate = sabotage
+    with pytest.raises(AssertionError):
+        sw.run(cfg.packet_words * 6)
+
+
+def test_stolen_buffer_address_detected():
+    """Free an address while a packet still occupies it: the manager's
+    double-release check fires."""
+    sw, cfg = _switch_with_one_packet(cut_through=False)
+    sw.run(cfg.depth)  # store wave in flight; packet queued, not yet departing
+    rec = sw.buffer.head(1)
+    assert rec is not None
+    sw.buffer.release(rec)  # sabotage: steal the address
+    with pytest.raises(ValueError, match="double release|no queued"):
+        sw.buffer.release(rec)

@@ -1,0 +1,117 @@
+"""Tests for word-level packet sources and the verifying sink."""
+
+import pytest
+
+from repro.core.sources import (
+    PacketSink,
+    RenewalPacketSource,
+    SaturatingSource,
+    SlotAdapterSource,
+    TracePacketSource,
+    deterministic_payload,
+)
+from repro.traffic import BernoulliUniform
+
+
+def test_deterministic_payload_reproducible_and_bounded():
+    a = deterministic_payload(42, 16, width_bits=16)
+    b = deterministic_payload(42, 16, width_bits=16)
+    assert a == b
+    assert len(a) == 16
+    assert all(0 <= w < (1 << 16) for w in a)
+    assert deterministic_payload(43, 16) != a
+
+
+def test_renewal_source_load():
+    """Empirical link load approaches the configured value (driving a
+    link-busy state machine as the switch does)."""
+    b, load = 16, 0.6
+    src = RenewalPacketSource(n_out=8, packet_words=b, load=load, seed=1)
+    busy_until = -1
+    busy_cycles = 0
+    horizon = 200_000
+    for t in range(horizon):
+        if t > busy_until and src.maybe_start(t, 0) is not None:
+            busy_until = t + b - 1
+        if t <= busy_until:
+            busy_cycles += 1
+    assert busy_cycles / horizon == pytest.approx(load, abs=0.02)
+
+
+def test_renewal_head_probability():
+    """Unconditional head probability = p/B — the §3.4 assumption."""
+    b, load = 16, 0.4
+    src = RenewalPacketSource(n_out=8, packet_words=b, load=load, seed=2)
+    busy_until = -1
+    heads = 0
+    horizon = 200_000
+    for t in range(horizon):
+        if t > busy_until and src.maybe_start(t, 0) is not None:
+            heads += 1
+            busy_until = t + b - 1
+    assert heads / horizon == pytest.approx(load / b, rel=0.08)
+
+
+def test_saturating_source_always_ready():
+    src = SaturatingSource(n_out=4, packet_words=8, seed=3)
+    assert all(src.maybe_start(t, 0) is not None for t in range(100))
+
+
+def test_saturating_source_fixed_dests():
+    src = SaturatingSource(n_out=4, packet_words=8, dests=[3, 1])
+    assert src.maybe_start(0, 0) == 3
+    assert src.maybe_start(0, 1) == 1
+
+
+def test_trace_source_ordering():
+    src = TracePacketSource(
+        n_out=4, packet_words=8, schedule={0: [(5, 2), (6, 3)]}
+    )
+    assert src.maybe_start(0, 0) is None
+    assert src.maybe_start(5, 0) == 2
+    assert src.maybe_start(5, 0) is None  # next item's earliest cycle is 6
+    assert src.maybe_start(6, 0) == 3
+    assert src.maybe_start(7, 0) is None
+    assert src.exhausted()
+
+
+def test_slot_adapter_synchronizes_to_slot_boundaries():
+    b = 8
+    slotted = BernoulliUniform(2, 2, 1.0, seed=4)
+    src = SlotAdapterSource(slotted, packet_words=b)
+    # Only cycle multiples of b may start packets.
+    assert src.maybe_start(0, 0) is not None
+    assert src.maybe_start(3, 1) is None
+    assert src.maybe_start(b, 1) is not None
+
+
+class TestPacketSink:
+    def test_accepts_well_formed_packet(self):
+        sink = PacketSink(0, 4)
+        for k in range(4):
+            sink.deliver(10 + k, packet_uid=7, index=k, payload=k * 2)
+        assert sink.delivered == [(7, 10, (0, 2, 4, 6))]
+        assert not sink.mid_packet
+
+    def test_rejects_gap_inside_packet(self):
+        sink = PacketSink(0, 4)
+        sink.deliver(10, 7, 0, 0)
+        with pytest.raises(AssertionError):
+            sink.deliver(12, 7, 1, 1)  # cycle gap
+
+    def test_rejects_out_of_order_words(self):
+        sink = PacketSink(0, 4)
+        sink.deliver(10, 7, 0, 0)
+        with pytest.raises(AssertionError):
+            sink.deliver(11, 7, 2, 2)
+
+    def test_rejects_interleaved_packets(self):
+        sink = PacketSink(0, 4)
+        sink.deliver(10, 7, 0, 0)
+        with pytest.raises(AssertionError):
+            sink.deliver(11, 8, 1, 1)
+
+    def test_rejects_headless_packet(self):
+        sink = PacketSink(0, 4)
+        with pytest.raises(AssertionError):
+            sink.deliver(10, 7, 1, 0)

@@ -1,0 +1,205 @@
+"""Functional tests of the pipelined-memory switch (paper §3.2-§3.4)."""
+
+import pytest
+
+from repro.core import (
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    Priority,
+    RenewalPacketSource,
+    SaturatingSource,
+    TracePacketSource,
+)
+
+
+def _trace_switch(n=2, addresses=8, schedule=None, **cfg_kwargs):
+    cfg = PipelinedSwitchConfig(n=n, addresses=addresses, **cfg_kwargs)
+    src = TracePacketSource(
+        n_out=n, packet_words=cfg.packet_words, schedule=schedule or {}
+    )
+    return PipelinedSwitch(cfg, src), cfg
+
+
+class TestConfig:
+    def test_default_depth_is_2n(self):
+        assert PipelinedSwitchConfig(n=4).depth == 8
+
+    def test_packet_words_equals_depth(self):
+        cfg = PipelinedSwitchConfig(n=4, depth=8)
+        assert cfg.packet_words == 8
+
+    def test_buffer_bits(self):
+        cfg = PipelinedSwitchConfig(n=8, addresses=256, width_bits=16)
+        assert cfg.buffer_bits == 64 * 1024  # Telegraphos III: 64 Kbit
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedSwitchConfig(n=0)
+        with pytest.raises(ValueError):
+            PipelinedSwitchConfig(n=2, addresses=0)
+
+    def test_credit_default(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64, credit_flow=True)
+        assert cfg.credits_per_input == 16
+
+
+class TestSinglePacket:
+    def test_minimum_cut_through_latency_is_2_cycles(self):
+        """Head arrives cycle c, WRITE_CT wave at c+1, head on the wire at
+        c+2 — the §3.3 fast path."""
+        sw, cfg = _trace_switch(schedule={0: [(0, 1)]})
+        sw.run(cfg.depth * 4)
+        assert sw.stats.delivered == 1
+        assert sw.ct_latency.mean == 2.0
+        assert sw.cut_through_waves == 1
+        assert sw.plain_read_waves == 0
+
+    def test_payload_integrity(self):
+        sw, cfg = _trace_switch(schedule={0: [(0, 1)], 1: [(3, 0)]})
+        sw.run(cfg.depth * 6)
+        assert sw.stats.delivered == 2
+        # Arrival: the sink-vs-sent comparison happens inside the switch and
+        # raises on mismatch; reaching here with 2 deliveries is the check.
+
+    def test_packet_stored_and_forwarded_when_output_busy(self):
+        """Two packets to the same output: the second is buffered (plain
+        write + later read), and FIFO order holds."""
+        sw, cfg = _trace_switch(schedule={0: [(0, 1)], 1: [(1, 1)]})
+        sw.run(cfg.depth * 8)
+        assert sw.stats.delivered == 2
+        assert sw.cut_through_waves >= 1
+        assert sw.plain_read_waves >= 1
+        first, second = sw.sinks[1].delivered
+        assert first[1] < second[1]
+
+    def test_cut_through_disabled_forces_store_and_forward(self):
+        sw_ct, cfg = _trace_switch(schedule={0: [(0, 1)]})
+        sw_sf, _ = _trace_switch(schedule={0: [(0, 1)]}, cut_through=False)
+        sw_ct.run(cfg.depth * 6)
+        sw_sf.run(cfg.depth * 6)
+        assert sw_ct.ct_latency.mean == 2.0
+        # Store-and-forward: the read wave may only start after the write
+        # wave completes (B cycles later).
+        assert sw_sf.ct_latency.mean >= cfg.depth + 1
+        assert sw_sf.cut_through_waves == 0
+
+
+class TestModerateLoad:
+    def test_no_loss_and_full_delivery(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.5, seed=1)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(30_000)
+        sw.drain()
+        assert sw.stats.dropped == 0
+        assert sw.stats.delivered == sw.stats.offered
+        assert sw.is_empty()
+
+    def test_utilization_tracks_offered_load(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.6, seed=2)
+        sw = PipelinedSwitch(cfg, src)
+        sw.warmup = 3000
+        sw.run(60_000)
+        assert sw.link_utilization == pytest.approx(0.6, abs=0.03)
+
+    def test_per_output_fifo_order(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.7, seed=3)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(20_000)
+        for sink in sw.sinks:
+            heads = [head for _, head, _ in sink.delivered]
+            assert heads == sorted(heads)
+
+    def test_wave_accounting(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.5, seed=4)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(20_000)
+        sw.drain()
+        # Every delivered packet used exactly one departure wave, and every
+        # accepted packet exactly one store wave (CT counts as both).
+        assert sw.cut_through_waves + sw.plain_read_waves == sw.stats.delivered
+        assert sw.cut_through_waves + sw.write_waves == sw.stats.accepted
+
+
+class TestSaturation:
+    def test_high_utilization_at_full_load(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=5)
+        sw = PipelinedSwitch(cfg, src)
+        sw.warmup = 4000
+        sw.run(40_000)
+        assert sw.link_utilization > 0.95
+
+    def test_drop_tail_losses_bounded(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=16)
+        src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=6)
+        sw = PipelinedSwitch(cfg, src)
+        sw.warmup = 2000
+        sw.run(30_000)
+        assert sw.stats.dropped > 0
+        assert sw.stats.offered == sw.stats.accepted + sw.stats.dropped
+
+    def test_single_hot_output_serves_line_rate(self):
+        """All inputs target output 0: it must stay 100% busy, others idle."""
+        cfg = PipelinedSwitchConfig(n=4, addresses=16)
+        src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, dests=[0, 0, 0, 0])
+        sw = PipelinedSwitch(cfg, src)
+        sw.warmup = 2000
+        sw.run(20_000)
+        delivered = sw.stats.per_output_delivered
+        measured = sw.stats.measured_slots
+        assert delivered[0] * cfg.packet_words / measured == pytest.approx(1.0, abs=0.02)
+        assert delivered[1] == delivered[2] == delivered[3] == 0
+
+
+class TestCreditFlow:
+    def test_lossless_at_saturation(self):
+        """Credit-based flow control (Telegraphos, §4.2): never drops."""
+        cfg = PipelinedSwitchConfig(n=4, addresses=32, credit_flow=True)
+        src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=7)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(30_000)
+        assert sw.stats.dropped == 0
+        assert sw.overrun_drops == 0
+
+    def test_credits_conserved(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=32, credit_flow=True)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.8, seed=8)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(20_000)
+        sw.drain()
+        assert all(
+            s.credits == cfg.credits_per_input for s in sw._inputs
+        )  # all credits returned once empty
+
+
+class TestArbitrationPolicies:
+    @pytest.mark.parametrize(
+        "priority", [Priority.READS_FIRST, Priority.WRITES_FIRST, Priority.OLDEST_FIRST]
+    )
+    def test_all_policies_deliver_everything(self, priority):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64, priority=priority)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.6, seed=9)
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(20_000)
+        sw.drain()
+        assert sw.stats.dropped == 0
+        assert sw.stats.delivered == sw.stats.offered
+
+    def test_reads_first_has_lowest_latency(self):
+        """The paper's rationale for read priority: delaying departures
+        wastes output-link cycles."""
+        results = {}
+        for priority in (Priority.READS_FIRST, Priority.WRITES_FIRST):
+            cfg = PipelinedSwitchConfig(n=8, addresses=128, priority=priority)
+            src = RenewalPacketSource(
+                n_out=8, packet_words=cfg.packet_words, load=0.8, seed=10
+            )
+            sw = PipelinedSwitch(cfg, src)
+            sw.warmup = 3000
+            sw.run(60_000)
+            results[priority] = sw.ct_latency.mean
+        assert results[Priority.READS_FIRST] <= results[Priority.WRITES_FIRST]

@@ -1,0 +1,111 @@
+"""Tests for the wave tracer and §4.3 wire pipelining."""
+
+import pytest
+
+from repro.core import (
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    RenewalPacketSource,
+    TracePacketSource,
+)
+from repro.core.tracing import WaveTracer
+
+
+def _traced_switch(schedule, n=2, **cfg_kwargs):
+    cfg = PipelinedSwitchConfig(n=n, addresses=8, **cfg_kwargs)
+    src = TracePacketSource(n_out=n, packet_words=cfg.packet_words, schedule=schedule)
+    return WaveTracer(PipelinedSwitch(cfg, src)), cfg
+
+
+class TestWaveTracer:
+    def test_records_cut_through_wave(self):
+        tracer, cfg = _traced_switch({0: [(0, 1)]})
+        tracer.run(cfg.depth * 3)
+        inits = tracer.initiations()
+        assert len(inits) == 1
+        cycle, op, uid = inits[0]
+        assert op == "CT" and cycle == 1  # earliest possible initiation
+
+    def test_control_delay_property(self):
+        """The figure-5 law, re-verified from the recorded trace."""
+        tracer, cfg = _traced_switch({0: [(0, 1)], 1: [(1, 1)], })
+        tracer.run(cfg.depth * 6)
+        assert tracer.verify_control_delay_property()
+        assert {op for _, op, _ in tracer.initiations()} == {"CT", "WR", "RD"}
+
+    def test_random_traffic_trace_consistent(self):
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words,
+                                  load=0.6, seed=1)
+        tracer = WaveTracer(PipelinedSwitch(cfg, src))
+        tracer.run(600)
+        assert tracer.verify_control_delay_property()
+        # one initiation maximum per cycle
+        cycles = [c for c, _, _ in tracer.initiations()]
+        assert len(cycles) == len(set(cycles))
+
+    def test_render_contains_ops_and_links(self):
+        tracer, cfg = _traced_switch({0: [(0, 1)]})
+        tracer.run(cfg.depth * 2)
+        text = tracer.render()
+        assert "CT" in text
+        assert "L1<=w0" in text
+        assert text.splitlines()[0].lstrip().startswith("cyc")
+
+    def test_render_truncation(self):
+        tracer, cfg = _traced_switch({0: [(0, 1)]})
+        tracer.run(20)
+        assert len(tracer.render(max_cycles=5).splitlines()) == 7  # 2 header rows
+
+
+class TestWirePipelining:
+    """§4.3: splitting the link wires adds constant latency, nothing else."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedSwitchConfig(n=2, link_pipeline_stages=-1)
+
+    @pytest.mark.parametrize("stages", [1, 2, 4])
+    def test_latency_shift_is_exactly_two_per_stage(self, stages):
+        lats = []
+        for s in (0, stages):
+            cfg = PipelinedSwitchConfig(n=4, addresses=64, link_pipeline_stages=s)
+            src = RenewalPacketSource(
+                n_out=4, packet_words=cfg.packet_words, load=0.5, seed=2
+            )
+            sw = PipelinedSwitch(cfg, src)
+            sw.warmup = 1000
+            sw.run(20_000)
+            sw.drain()
+            lats.append(sw.ct_latency.mean)
+        assert lats[1] - lats[0] == pytest.approx(2 * stages, abs=1e-9)
+
+    def test_throughput_and_loss_unchanged(self):
+        results = []
+        for s in (0, 3):
+            cfg = PipelinedSwitchConfig(n=4, addresses=64, link_pipeline_stages=s)
+            src = RenewalPacketSource(
+                n_out=4, packet_words=cfg.packet_words, load=0.7, seed=3
+            )
+            sw = PipelinedSwitch(cfg, src)
+            sw.warmup = 1000
+            sw.run(30_000)
+            sw.drain()
+            results.append((sw.link_utilization, sw.stats.dropped,
+                            sw.stats.delivered))
+        # identical packet outcomes up to warmup-boundary straddlers (the
+        # pipelined wires shift a handful of departures across the warmup
+        # edge); utilization only differs through drain-cycle denominators
+        assert results[0][1] == results[1][1] == 0
+        assert abs(results[0][2] - results[1][2]) <= 8
+        assert results[0][0] == pytest.approx(results[1][0], rel=0.01)
+
+    def test_data_integrity_preserved(self):
+        cfg = PipelinedSwitchConfig(n=2, addresses=16, link_pipeline_stages=2)
+        src = TracePacketSource(
+            n_out=2, packet_words=cfg.packet_words,
+            schedule={0: [(0, 1), (8, 0)], 1: [(2, 1)]},
+        )
+        sw = PipelinedSwitch(cfg, src)
+        sw.run(200)  # payload checks run inside; reaching here is the test
+        assert sw.stats.delivered == 3

@@ -1,0 +1,100 @@
+"""Tests for the wide-memory baseline switch (paper figure 3)."""
+
+import pytest
+
+from repro.core import RenewalPacketSource, SaturatingSource, TracePacketSource
+from repro.core.wide import WideMemorySwitch, WideSwitchConfig
+
+
+def _trace(n=2, schedule=None, **kwargs):
+    cfg = WideSwitchConfig(n=n, addresses=32, **kwargs)
+    src = TracePacketSource(
+        n_out=n, packet_words=cfg.packet_words, schedule=schedule or {}
+    )
+    return WideMemorySwitch(cfg, src), cfg
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WideSwitchConfig(n=0)
+    with pytest.raises(ValueError):
+        WideSwitchConfig(n=2, addresses=0)
+
+
+def test_store_and_forward_latency_is_packet_time_plus_2():
+    """Without the cut-through crossbar: the head waits one full packet
+    assembly (B cycles) plus memory write/read — B+2 cycles minimum."""
+    sw, cfg = _trace(schedule={0: [(0, 1)]})
+    sw.run(cfg.packet_words * 6)
+    assert sw.stats.delivered == 1
+    assert sw.ct_latency.mean == cfg.packet_words + 2
+
+
+def test_cut_through_crossbar_restores_2_cycle_latency():
+    sw, cfg = _trace(schedule={0: [(0, 1)]}, cut_through=True)
+    sw.run(cfg.packet_words * 6)
+    assert sw.stats.delivered == 1
+    assert sw.ct_latency.mean == 2.0
+    assert sw.cut_throughs == 1
+
+
+def test_wide_ct_cannot_cut_through_mid_arrival():
+    """Figure 3's limitation: the crossbar path is only usable from the
+    head-arrival instant.  A packet whose output frees up mid-arrival goes
+    store-and-forward, unlike the pipelined memory."""
+    cfg = WideSwitchConfig(n=2, addresses=32, cut_through=True)
+    b = cfg.packet_words
+    # Packet A (input 0 -> output 1) cuts through at cycle 0.  Packet B
+    # (input 1 -> output 1) arrives one cycle later: output busy at its
+    # head instant, so B must take the memory path even though the output
+    # frees before B's tail has arrived.
+    src = TracePacketSource(
+        n_out=2, packet_words=b, schedule={0: [(0, 1)], 1: [(1, 1)]}
+    )
+    sw = WideMemorySwitch(cfg, src)
+    sw.run(b * 10)
+    assert sw.stats.delivered == 2
+    assert sw.cut_throughs == 1
+    lat_b = sw.sinks[1].delivered[1][1] - 1  # head-out minus arrival
+    assert lat_b >= b  # paid (most of) the store-and-forward penalty
+
+
+def test_no_loss_at_moderate_load():
+    cfg = WideSwitchConfig(n=4, addresses=64, cut_through=True)
+    src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.5, seed=1)
+    sw = WideMemorySwitch(cfg, src)
+    sw.run(30_000)
+    sw.drain()
+    assert sw.stats.dropped == 0
+    assert sw.stats.delivered == sw.stats.offered
+    assert sw.is_empty()
+
+
+def test_saturation_throughput_near_one():
+    cfg = WideSwitchConfig(n=4, addresses=64)
+    src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=2)
+    sw = WideMemorySwitch(cfg, src)
+    sw.warmup = 4000
+    sw.run(40_000)
+    assert sw.link_utilization > 0.9
+
+
+def test_fifo_per_output():
+    cfg = WideSwitchConfig(n=4, addresses=64, cut_through=True)
+    src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.8, seed=3)
+    sw = WideMemorySwitch(cfg, src)
+    sw.run(20_000)
+    for sink in sw.sinks:
+        heads = [h for _, h, _ in sink.delivered]
+        assert heads == sorted(heads)
+
+
+def test_memory_op_accounting():
+    cfg = WideSwitchConfig(n=4, addresses=64)
+    src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words, load=0.5, seed=4)
+    sw = WideMemorySwitch(cfg, src)
+    sw.run(20_000)
+    sw.drain()
+    # No cut-through configured: every delivered packet was written and read.
+    assert sw.memory_writes == sw.memory_reads + len(sw._mem)
+    assert sw.cut_throughs == 0

@@ -1,0 +1,81 @@
+"""Tests for k-ary n-cube topologies and dimension-order routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import KAryNCube, Port
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KAryNCube(1, 2)
+    with pytest.raises(ValueError):
+        Port(0, 2)
+
+
+def test_coords_roundtrip():
+    topo = KAryNCube(4, 3)
+    for node in range(topo.num_nodes):
+        assert topo.node_at(topo.coords(node)) == node
+
+
+def test_mesh_edge_has_no_link():
+    topo = KAryNCube(4, 1)  # a 4-node line
+    with pytest.raises(ValueError):
+        topo.neighbor(0, Port(0, -1))
+    assert topo.neighbor(0, Port(0, +1)) == 1
+
+
+def test_torus_wraps():
+    topo = KAryNCube(4, 1, wrap=True)
+    assert topo.neighbor(0, Port(0, -1)) == 3
+    assert topo.neighbor(3, Port(0, +1)) == 0
+
+
+@given(k=st.integers(2, 6), n=st.integers(1, 3), wrap=st.booleans(),
+       seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_dimension_order_routing_terminates_at_destination(k, n, wrap, seed):
+    import random
+
+    rng = random.Random(seed)
+    topo = KAryNCube(k, n, wrap=wrap)
+    src = rng.randrange(topo.num_nodes)
+    dst = rng.randrange(topo.num_nodes)
+    node, hops = src, 0
+    while node != dst:
+        port = topo.route_dimension_order(node, dst)
+        assert port is not None
+        node = topo.neighbor(node, port)
+        hops += 1
+        assert hops <= topo.num_nodes * n  # no cycles
+    assert hops == topo.hop_count(src, dst)
+
+
+def test_route_at_destination_is_none():
+    topo = KAryNCube(4, 2)
+    assert topo.route_dimension_order(5, 5) is None
+
+
+def test_torus_takes_short_way_round():
+    topo = KAryNCube(8, 1, wrap=True)
+    port = topo.route_dimension_order(0, 6)  # 2 hops backward vs 6 forward
+    assert port == Port(0, -1)
+
+
+def test_average_hops_values():
+    # torus: k/4 per dimension for even k
+    assert KAryNCube(8, 2, wrap=True).average_hops() == pytest.approx(4.0)
+    # mesh: (k^2-1)/(3k) per dimension
+    assert KAryNCube(8, 1).average_hops() == pytest.approx(63 / 24)
+
+
+def test_channels_per_node():
+    assert KAryNCube(8, 2, wrap=True).channels_per_node() == 4.0
+    assert KAryNCube(8, 2).channels_per_node() == pytest.approx(3.5)
+
+
+def test_capacity_rate_positive():
+    topo = KAryNCube(8, 2)
+    assert 0 < topo.capacity_message_rate(20) < 1

@@ -1,0 +1,110 @@
+"""Tests for the wormhole network (the [Dally90] substrate)."""
+
+import pytest
+
+from repro.network import KAryNCube, WormholeNetwork
+from repro.network.wormhole import Message
+
+
+def _single_message(topo, src, dst, length=4, lanes=1, buffer_flits=8):
+    net = WormholeNetwork(
+        topo, lanes=lanes, buffer_flits=buffer_flits,
+        message_flits=length, load=0.0, seed=1,
+    )
+    msg = Message(src=src, dst=dst, length=length, created=0)
+    net.source_queues[src].append(msg)
+    for _ in range(500):
+        net.tick()
+        if msg.delivered >= 0:
+            return net, msg
+    raise AssertionError("message never delivered")
+
+
+def test_validation():
+    topo = KAryNCube(4, 2)
+    with pytest.raises(ValueError):
+        WormholeNetwork(topo, lanes=0)
+    with pytest.raises(ValueError):
+        WormholeNetwork(topo, lanes=4, buffer_flits=2)
+    with pytest.raises(ValueError):
+        WormholeNetwork(topo, message_flits=0)
+
+
+def test_single_message_latency_is_hops_plus_length():
+    """An uncontended worm: header pipeline (1 cycle/hop) + body drains at
+    1 flit/cycle."""
+    topo = KAryNCube(4, 2)
+    net, msg = _single_message(topo, src=0, dst=5, length=4)
+    hops = topo.hop_count(0, 5)
+    # injection + per-hop + eject of remaining flits; allow small constant
+    expected_min = hops + 4 - 1
+    assert expected_min <= msg.delivered <= expected_min + 4
+
+
+def test_all_lanes_released_after_delivery():
+    topo = KAryNCube(4, 2)
+    net, _ = _single_message(topo, src=0, dst=15, length=6)
+    for node_lanes in net.lanes:
+        for port_lanes in node_lanes:
+            for lane in port_lanes:
+                assert not lane.busy
+    assert not net.injection_lanes[0].busy
+
+
+def test_flit_conservation_light_load():
+    topo = KAryNCube(4, 2)
+    net = WormholeNetwork(topo, lanes=2, buffer_flits=8, message_flits=6,
+                          load=0.3, seed=2)
+    net.run(4000)
+    # drain
+    net.injection_rate = 0.0
+    net.run(3000)
+    in_flight = sum(
+        len(l.flits) for node in net.lanes for pl in node for l in pl
+    ) + sum(len(l.flits) for l in net.injection_lanes)
+    assert in_flight == 0
+    assert net.delivered_messages > 0
+    assert net.refused_messages == 0
+
+
+def test_mesh_single_lane_saturates_early():
+    """The §2.1/[Dally90] claim: 20-flit messages, 16-flit buffers, 1 lane
+    => saturation around a quarter of capacity."""
+    topo = KAryNCube(8, 2)
+    net = WormholeNetwork(topo, lanes=1, buffer_flits=16, message_flits=20,
+                          load=1.0, seed=3)
+    net.warmup = 2000
+    net.run(9000)
+    frac = net.delivered_fraction_of_capacity()
+    assert 0.15 < frac < 0.40
+
+
+def test_lanes_recover_throughput():
+    """More lanes, same total buffering => higher saturation throughput."""
+    topo = KAryNCube(8, 2)
+    results = {}
+    for lanes in (1, 4):
+        net = WormholeNetwork(topo, lanes=lanes, buffer_flits=16,
+                              message_flits=20, load=1.0, seed=4)
+        net.warmup = 2000
+        net.run(9000)
+        results[lanes] = net.delivered_fraction_of_capacity()
+    assert results[4] > results[1] * 1.2
+
+
+def test_light_load_delivers_offered():
+    topo = KAryNCube(4, 2)
+    net = WormholeNetwork(topo, lanes=2, buffer_flits=16, message_flits=8,
+                          load=0.2, seed=5)
+    net.warmup = 1000
+    net.run(10_000)
+    assert net.delivered_fraction_of_capacity() == pytest.approx(0.2, abs=0.05)
+
+
+def test_summary_keys():
+    topo = KAryNCube(4, 2)
+    net = WormholeNetwork(topo, load=0.1, seed=6)
+    net.run(500)
+    s = net.summary()
+    for key in ("lanes", "offered_fraction", "delivered_fraction", "mean_latency"):
+        assert key in s

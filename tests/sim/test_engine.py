@@ -1,0 +1,121 @@
+"""Tests for the two-phase synchronous kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, Register, ShiftPipeline
+
+
+class _Counter:
+    """Toy clocked component: counts its own commits."""
+
+    def __init__(self):
+        self.value = 0
+        self._next = 0
+
+    def evaluate(self, cycle):
+        self._next = self.value + 1
+
+    def commit(self, cycle):
+        self.value = self._next
+
+
+class _Follower:
+    """Reads another component's committed state during evaluate."""
+
+    def __init__(self, leader):
+        self.leader = leader
+        self.seen = []
+        self._snapshot = None
+
+    def evaluate(self, cycle):
+        self._snapshot = self.leader.value
+
+    def commit(self, cycle):
+        self.seen.append(self._snapshot)
+
+
+def test_engine_requires_clocked_protocol():
+    with pytest.raises(TypeError):
+        Engine().add(object())
+
+
+def test_engine_advances_cycles():
+    eng = Engine()
+    eng.add(_Counter())
+    eng.run(5)
+    assert eng.cycle == 5
+
+
+def test_engine_rejects_negative_run():
+    with pytest.raises(ValueError):
+        Engine().run(-1)
+
+
+def test_two_phase_order_independence():
+    """The follower sees the leader's *previous* value regardless of
+    registration order — the defining property of two-phase evaluation."""
+    for leader_first in (True, False):
+        eng = Engine()
+        leader = _Counter()
+        follower = _Follower(leader)
+        if leader_first:
+            eng.add(leader)
+            eng.add(follower)
+        else:
+            eng.add(follower)
+            eng.add(leader)
+        eng.run(4)
+        assert follower.seen == [0, 1, 2, 3]
+
+
+class TestRegister:
+    def test_holds_value_without_assignment(self):
+        r = Register(initial=7)
+        r.evaluate(0)
+        r.commit(0)
+        assert r.q == 7
+
+    def test_updates_on_commit_only(self):
+        r = Register(initial=0)
+        r.d = 42
+        assert r.q == 0  # not yet committed
+        r.commit(0)
+        assert r.q == 42
+
+    def test_d_is_write_only(self):
+        r = Register()
+        with pytest.raises(AttributeError):
+            _ = r.d
+
+    def test_repr_contains_name(self):
+        assert "clk" in repr(Register(name="clk"))
+
+
+class TestShiftPipeline:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            ShiftPipeline(0)
+
+    def test_values_emerge_after_depth_cycles(self):
+        p = ShiftPipeline(3, initial=None)
+        outputs = []
+        for t in range(6):
+            p.push(t)
+            outputs.append(p.stage(2))
+            p.commit(t)
+        # stage 2 sees the value pushed 3 cycles earlier
+        assert outputs == [None, None, None, 0, 1, 2]
+
+    def test_unpushed_cycles_inject_initial(self):
+        p = ShiftPipeline(2, initial="idle")
+        p.push("x")
+        p.commit(0)
+        p.commit(1)  # nothing pushed
+        assert list(p) == ["idle", "x"]
+
+    def test_iteration_matches_stages(self):
+        p = ShiftPipeline(4)
+        for t in range(4):
+            p.push(t)
+            p.commit(t)
+        assert list(p) == [p.stage(k) for k in range(4)]

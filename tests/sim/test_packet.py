@@ -1,0 +1,52 @@
+"""Tests for Cell/Packet/Word objects."""
+
+import pytest
+
+from repro.sim.packet import Cell, Packet, Word, reset_packet_ids
+
+
+def test_cell_delay():
+    c = Cell(src=0, dst=1, arrival_slot=5)
+    c.depart_slot = 9
+    assert c.delay == 4
+
+
+def test_cell_delay_before_departure_raises():
+    with pytest.raises(ValueError):
+        _ = Cell(src=0, dst=1, arrival_slot=5).delay
+
+
+def test_uids_unique_and_resettable():
+    a = Cell(src=0, dst=0, arrival_slot=0)
+    b = Cell(src=0, dst=0, arrival_slot=0)
+    assert a.uid != b.uid
+    reset_packet_ids()
+    c = Cell(src=0, dst=0, arrival_slot=0)
+    assert c.uid == 0
+
+
+def test_packet_words_roundtrip():
+    p = Packet(src=1, dst=2, payload=(10, 20, 30), arrival_cycle=0)
+    words = p.words()
+    assert [w.payload for w in words] == [10, 20, 30]
+    assert all(w.packet_uid == p.uid for w in words)
+    assert [w.index for w in words] == [0, 1, 2]
+
+
+def test_packet_latencies():
+    p = Packet(src=0, dst=0, payload=(1, 2), arrival_cycle=10)
+    p.depart_first_cycle = 14
+    p.depart_last_cycle = 15
+    assert p.cut_through_latency == 4
+    assert p.total_latency == 5
+
+
+def test_packet_latency_before_departure_raises():
+    p = Packet(src=0, dst=0, payload=(1,), arrival_cycle=0)
+    with pytest.raises(ValueError):
+        _ = p.cut_through_latency
+
+
+def test_word_repr_is_compact():
+    w = Word(packet_uid=3, index=1, payload=0xAB)
+    assert "p3.1" in repr(w)

@@ -1,0 +1,40 @@
+"""Tests for deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.sim.rng import DEFAULT_SEED, make_rng, spawn
+
+
+def test_default_seed_reproducible():
+    a = make_rng(None).random(8)
+    b = make_rng(None).random(8)
+    assert (a == b).all()
+
+
+def test_explicit_seed_reproducible():
+    assert (make_rng(7).random(8) == make_rng(7).random(8)).all()
+
+
+def test_generator_passthrough():
+    g = np.random.default_rng(1)
+    assert make_rng(g) is g
+
+
+def test_spawn_independent_streams():
+    children = spawn(make_rng(3), 4)
+    draws = [c.random(16) for c in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not (draws[i] == draws[j]).all()
+
+
+def test_spawn_reproducible():
+    a = [c.random(4) for c in spawn(make_rng(3), 2)]
+    b = [c.random(4) for c in spawn(make_rng(3), 2)]
+    for x, y in zip(a, b):
+        assert (x == y).all()
+
+
+def test_default_seed_is_stable_constant():
+    # Changing the default seed silently breaks recorded experiment numbers.
+    assert DEFAULT_SEED == 0x5161_C0_1995

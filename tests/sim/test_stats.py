@@ -1,0 +1,129 @@
+"""Tests for the statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, SwitchStats
+
+
+class TestCounter:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    @settings(max_examples=50)
+    def test_matches_numpy(self, xs):
+        c = Counter()
+        for x in xs:
+            c.add(x)
+        assert c.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-9)
+        assert c.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-6)
+        assert c.minimum == min(xs)
+        assert c.maximum == max(xs)
+
+    def test_empty_counter_is_nan(self):
+        c = Counter()
+        assert math.isnan(c.mean)
+        assert math.isnan(c.variance)
+
+    def test_single_sample_variance_nan(self):
+        c = Counter()
+        c.add(1.0)
+        assert math.isnan(c.variance)
+        assert c.mean == 1.0
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_merge_equals_concatenation(self, a, b):
+        ca, cb, cc = Counter(), Counter(), Counter()
+        for x in a:
+            ca.add(x)
+            cc.add(x)
+        for x in b:
+            cb.add(x)
+            cc.add(x)
+        ca.merge(cb)
+        assert ca.count == cc.count
+        assert ca.mean == pytest.approx(cc.mean, rel=1e-9, abs=1e-9)
+        if ca.count >= 2:
+            assert ca.variance == pytest.approx(cc.variance, rel=1e-6, abs=1e-6)
+
+    def test_merge_empty_is_noop(self):
+        c = Counter()
+        c.add(3.0)
+        c.merge(Counter())
+        assert c.count == 1 and c.mean == 3.0
+
+
+class TestHistogram:
+    def test_pmf_sums_to_one(self):
+        h = Histogram()
+        for v in [1, 1, 2, 3, 3, 3]:
+            h.add(v)
+        pmf = h.pmf()
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert pmf[3] == pytest.approx(0.5)
+
+    def test_quantiles(self):
+        h = Histogram()
+        for v in range(100):
+            h.add(v)
+        assert h.quantile(0.0) == 0
+        assert h.quantile(0.5) == 49
+        assert h.quantile(1.0) == 99
+
+    def test_quantile_validation(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.5)
+
+    def test_mean_weighted(self):
+        h = Histogram()
+        h.add(10, weight=3)
+        h.add(0, weight=1)
+        assert h.mean == pytest.approx(7.5)
+
+
+class TestSwitchStats:
+    def test_throughput_counts_all_departures_in_window(self):
+        s = SwitchStats(n_outputs=2, warmup=10)
+        # A cell that arrived before warmup but departs inside the window
+        # must count toward throughput but not delay.
+        s.record_departure(0, arrival=5, departure=15)
+        s.horizon = 20
+        assert s.delivered == 1
+        assert s.delay.count == 0
+
+    def test_delay_only_for_post_warmup_arrivals(self):
+        s = SwitchStats(n_outputs=1, warmup=10)
+        s.record_departure(0, arrival=12, departure=20)
+        assert s.delay.count == 1
+        assert s.delay.mean == 8
+
+    def test_loss_probability(self):
+        s = SwitchStats(n_outputs=1)
+        for t in range(10):
+            s.record_offer(t)
+        s.record_drop(3)
+        s.record_drop(4)
+        assert s.loss_probability == pytest.approx(0.2)
+
+    def test_loss_nan_without_offers(self):
+        assert math.isnan(SwitchStats(n_outputs=1).loss_probability)
+
+    def test_summary_keys(self):
+        s = SwitchStats(n_outputs=1)
+        s.record_offer(0)
+        s.record_accept(0)
+        s.record_departure(0, 0, 1)
+        s.horizon = 10
+        summary = s.summary()
+        for key in ("offered", "delivered", "throughput", "mean_delay", "p99_delay"):
+            assert key in summary

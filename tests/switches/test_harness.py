@@ -1,0 +1,59 @@
+"""Tests for the experiment harness helpers."""
+
+import pytest
+
+from repro.switches import OutputQueued, SharedBuffer
+from repro.switches.harness import (
+    capacity_for_loss,
+    format_table,
+    latency_vs_load,
+    loss_vs_capacity,
+    saturation_throughput,
+    throughput_at_load,
+    uniform_source_factory,
+)
+
+
+def test_throughput_at_load_tracks_offered():
+    f = uniform_source_factory(4, 4)
+    thr = throughput_at_load(lambda: OutputQueued(4, 4), f, 0.5, slots=8000)
+    assert thr == pytest.approx(0.5, abs=0.03)
+
+
+def test_saturation_of_work_conserving_switch_is_one():
+    f = uniform_source_factory(4, 4)
+    sat = saturation_throughput(lambda: SharedBuffer(4, 4), f, slots=8000)
+    assert sat == pytest.approx(1.0, abs=0.03)
+
+
+def test_latency_vs_load_monotone():
+    f = uniform_source_factory(4, 4)
+    series = latency_vs_load(
+        lambda: OutputQueued(4, 4), f, loads=[0.3, 0.6, 0.9], slots=10_000
+    )
+    delays = [d for _, d in series]
+    assert delays[0] < delays[1] < delays[2]
+
+
+def test_loss_vs_capacity_decreasing():
+    f = uniform_source_factory(4, 4)
+    series = loss_vs_capacity(
+        lambda cap: SharedBuffer(4, 4, capacity=cap), f,
+        capacities=[2, 8, 32], load=0.9, slots=15_000,
+    )
+    losses = [l for _, l in series]
+    assert losses[0] > losses[-1]
+
+
+def test_capacity_for_loss():
+    series = [(2, 0.1), (4, 0.01), (8, 0.0005)]
+    assert capacity_for_loss(series, 1e-3) == 8
+    assert capacity_for_loss(series, 1e-9) is None
+
+
+def test_format_table():
+    out = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5

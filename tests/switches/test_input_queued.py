@@ -1,0 +1,70 @@
+"""Tests for FIFO input queueing (HoL blocking)."""
+
+import pytest
+
+from repro.analysis.hol import KAROL_TABLE
+from repro.switches import FifoInputQueued
+from repro.traffic import BernoulliUniform, FixedPermutation
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FifoInputQueued(4, 4, capacity=0)
+    with pytest.raises(ValueError):
+        FifoInputQueued(4, 4, arbitration="magic")
+    with pytest.raises(ValueError):
+        FifoInputQueued(0, 4)
+
+
+def test_permutation_traffic_full_throughput():
+    """Conflict-free traffic: HoL blocking never triggers."""
+    sw = FifoInputQueued(4, 4, seed=1)
+    stats = sw.run(FixedPermutation([1, 2, 3, 0]), 500)
+    assert stats.throughput == pytest.approx(1.0, abs=0.01)
+    assert stats.mean_delay == pytest.approx(0.0)
+
+
+def test_single_input_never_blocks():
+    sw = FifoInputQueued(1, 1, seed=1)
+    stats = sw.run(BernoulliUniform(1, 1, 1.0, seed=2), 1000)
+    assert stats.throughput == pytest.approx(1.0, abs=0.01)
+
+
+@pytest.mark.parametrize("n,expected", [(2, KAROL_TABLE[2]), (4, KAROL_TABLE[4]), (8, KAROL_TABLE[8])])
+def test_hol_saturation_matches_karol(n, expected):
+    """The headline §2.1 number: saturation at the [KaHM87] values."""
+    sw = FifoInputQueued(n, n, warmup=2000, seed=3)
+    stats = sw.run(BernoulliUniform(n, n, 1.0, seed=4), 25_000)
+    assert stats.throughput == pytest.approx(expected, abs=0.015)
+
+
+def test_round_robin_arbitration_also_saturates():
+    sw = FifoInputQueued(4, 4, arbitration="round_robin", warmup=2000, seed=5)
+    stats = sw.run(BernoulliUniform(4, 4, 1.0, seed=6), 20_000)
+    assert stats.throughput == pytest.approx(KAROL_TABLE[4], abs=0.03)
+
+
+def test_finite_capacity_drops():
+    sw = FifoInputQueued(2, 2, capacity=2, seed=7)
+    stats = sw.run(BernoulliUniform(2, 2, 1.0, seed=8), 5000)
+    assert stats.dropped > 0
+    assert stats.loss_probability > 0
+
+
+def test_fifo_order_preserved_per_input():
+    """Cells from one input depart in arrival order."""
+    sw = FifoInputQueued(2, 2, seed=9)
+    src = BernoulliUniform(2, 2, 0.9, seed=10)
+    departures = []
+    for t in range(2000):
+        for cell in sw.step(src.arrivals(t)):
+            if cell is not None and cell.src == 0:
+                departures.append(cell.uid)
+    assert departures == sorted(departures)
+
+
+def test_occupancy_consistency():
+    sw = FifoInputQueued(4, 4, seed=11)
+    src = BernoulliUniform(4, 4, 0.9, seed=12)
+    sw.run(src, 2000)
+    assert sw.occupancy() == sw.stats.accepted - sw.stats.delivered

@@ -1,0 +1,113 @@
+"""Tests for the VOQ crossbar schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.switches.schedulers import (
+    GreedyMaximal,
+    Islip,
+    MaxSizeMatching,
+    PIM,
+    TwoDimRoundRobin,
+    _check_matching,
+)
+
+ALL_SCHEDULERS = [
+    lambda: PIM(iterations=4, seed=1),
+    lambda: Islip(iterations=4),
+    lambda: TwoDimRoundRobin(),
+    lambda: GreedyMaximal(seed=2),
+    lambda: MaxSizeMatching(),
+]
+
+request_matrices = arrays(
+    dtype=bool, shape=st.tuples(st.integers(1, 8), st.integers(1, 8))
+)
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+@given(requests=request_matrices)
+@settings(max_examples=30, deadline=None)
+def test_always_returns_valid_matching(factory, requests):
+    sched = factory()
+    pairs = sched.match(requests)
+    _check_matching(requests, pairs)  # raises on violation
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+def test_full_requests_yield_perfect_matching(factory):
+    """With every VOQ nonempty, any sane scheduler matches all ports.
+
+    iSLIP needs a few slots for its pointers to desynchronize from the
+    cold all-zeros state, so schedulers get a short warm-up first.
+    """
+    n = 6
+    requests = np.ones((n, n), dtype=bool)
+    sched = factory()
+    for _ in range(2 * n):
+        pairs = sched.match(requests)
+    assert len(pairs) == n
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+def test_empty_requests_yield_empty_matching(factory):
+    requests = np.zeros((4, 4), dtype=bool)
+    assert factory().match(requests) == []
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEDULERS)
+def test_diagonal_requests_fully_served(factory):
+    n = 5
+    requests = np.eye(n, dtype=bool)
+    pairs = factory().match(requests)
+    assert sorted(pairs) == [(i, i) for i in range(n)]
+
+
+@given(requests=request_matrices)
+@settings(max_examples=30, deadline=None)
+def test_maxsize_upper_bounds_greedy(requests):
+    best = len(MaxSizeMatching().match(requests))
+    greedy = len(GreedyMaximal(seed=3).match(requests))
+    assert greedy <= best
+    # Maximal matching is at least half of maximum.
+    assert greedy >= (best + 1) // 2
+
+
+def test_pim_convergence_with_iterations():
+    """More PIM iterations never hurt (on average) — [AOST93]'s log n + 3/4."""
+    rng = np.random.default_rng(4)
+    sizes = {k: 0 for k in (1, 2, 4)}
+    for trial in range(200):
+        requests = rng.random((8, 8)) < 0.5
+        for k in sizes:
+            sizes[k] += len(PIM(iterations=k, seed=trial).match(requests))
+    assert sizes[1] <= sizes[2] <= sizes[4]
+
+
+def test_islip_pointer_desynchronization():
+    """Under persistent full load iSLIP reaches a perfect rotating schedule."""
+    n = 4
+    sched = Islip(iterations=1)
+    requests = np.ones((n, n), dtype=bool)
+    matched = [len(sched.match(requests)) for _ in range(50)]
+    # After the pointers desynchronize, every slot matches all n ports.
+    assert all(m == n for m in matched[-20:])
+
+
+def test_2drr_rotates_diagonals():
+    sched = TwoDimRoundRobin()
+    requests = np.ones((3, 3), dtype=bool)
+    first = sched.match(requests)
+    second = sched.match(requests)
+    assert first != second  # the diagonal order rotates slot to slot
+    assert len(first) == len(second) == 3
+
+
+def test_iteration_validation():
+    with pytest.raises(ValueError):
+        PIM(iterations=0)
+    with pytest.raises(ValueError):
+        Islip(iterations=0)

@@ -1,0 +1,122 @@
+"""Tests for speedup, interleaved (PRIZMA), and knockout architectures."""
+
+import pytest
+
+from repro.analysis.hol import KAROL_TABLE
+from repro.analysis.knockout import knockout_loss
+from repro.switches import (
+    InterleavedSharedBuffer,
+    KnockoutSwitch,
+    SharedBuffer,
+    SpeedupSwitch,
+)
+from repro.traffic import BernoulliUniform, TraceSource, record_trace
+
+
+class TestSpeedup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedupSwitch(4, 4, speedup=0)
+
+    def test_speedup1_suffers_hol(self):
+        sw = SpeedupSwitch(8, 8, speedup=1, warmup=2000, seed=1)
+        stats = sw.run(BernoulliUniform(8, 8, 1.0, seed=2), 20_000)
+        assert stats.throughput == pytest.approx(KAROL_TABLE[8], abs=0.02)
+
+    def test_speedup2_near_full_throughput(self):
+        """[PaBr93] / §2.1: a doubled internal fabric ~ eliminates HoL loss."""
+        sw = SpeedupSwitch(8, 8, speedup=2, warmup=2000, seed=3)
+        stats = sw.run(BernoulliUniform(8, 8, 1.0, seed=4), 20_000)
+        assert stats.throughput > 0.95
+
+    def test_throughput_monotonic_in_speedup(self):
+        results = []
+        for s in (1, 2, 4):
+            sw = SpeedupSwitch(8, 8, speedup=s, warmup=1500, seed=5)
+            stats = sw.run(BernoulliUniform(8, 8, 1.0, seed=6), 12_000)
+            results.append(stats.throughput)
+        assert results[0] < results[1] <= results[2] + 0.02
+
+    def test_output_backpressure(self):
+        sw = SpeedupSwitch(2, 2, speedup=2, output_capacity=1, seed=7)
+        sw.run(BernoulliUniform(2, 2, 1.0, seed=8), 2000)
+        for q in sw.out_queues:
+            assert len(q) <= 1
+
+
+class TestInterleaved:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterleavedSharedBuffer(4, 4, m_banks=0)
+        with pytest.raises(ValueError):
+            InterleavedSharedBuffer(4, 4, m_banks=8, cells_per_bank=0)
+
+    def test_small_bank_count_loses_more_than_ideal_sharing(self):
+        """With few banks, single-ported-bank write blocking bites: a bank
+        being read this slot cannot also accept a write, so the interleaved
+        buffer loses *more* than an ideal shared pool of the same capacity —
+        a real cost of the PRIZMA organization at small M."""
+        n, m = 4, 12
+        trace = record_trace(BernoulliUniform(n, n, 0.95, seed=9), 15_000)
+        il = InterleavedSharedBuffer(n, n, m_banks=m, warmup=500, seed=10)
+        sh = SharedBuffer(n, n, capacity=m, warmup=500, seed=10)
+        loss_il = il.run(TraceSource(trace, n), 15_000).loss_probability
+        loss_sh = sh.run(TraceSource(trace, n), 15_000).loss_probability
+        assert loss_il > loss_sh
+        assert il.read_conflicts == 0  # single-cell banks cannot read-conflict
+
+    def test_large_bank_count_converges_to_ideal_sharing(self):
+        """At M >> 2n (the PRIZMA/Telegraphos regime) the port-blocking
+        effect vanishes and loss matches the ideal shared pool."""
+        n, m = 4, 48
+        trace = record_trace(BernoulliUniform(n, n, 1.0, seed=23), 15_000)
+        il = InterleavedSharedBuffer(n, n, m_banks=m, warmup=500, seed=24)
+        sh = SharedBuffer(n, n, capacity=m, warmup=500, seed=24)
+        loss_il = il.run(TraceSource(trace, n), 15_000).loss_probability
+        loss_sh = sh.run(TraceSource(trace, n), 15_000).loss_probability
+        assert loss_il == pytest.approx(loss_sh, rel=0.25, abs=0.01)
+
+    def test_full_throughput(self):
+        sw = InterleavedSharedBuffer(8, 8, m_banks=128, warmup=1000, seed=11)
+        stats = sw.run(BernoulliUniform(8, 8, 1.0, seed=12), 12_000)
+        assert stats.throughput == pytest.approx(1.0, abs=0.03)
+
+    def test_multi_cell_banks_cause_read_conflicts(self):
+        """§5.3: 'more than one packets per bank ... may hurt performance'."""
+        sw = InterleavedSharedBuffer(
+            8, 8, m_banks=8, cells_per_bank=16, warmup=500, seed=13
+        )
+        sw.run(BernoulliUniform(8, 8, 1.0, seed=14), 8000)
+        assert sw.read_conflicts > 0
+
+    def test_bank_occupancy_bounds(self):
+        sw = InterleavedSharedBuffer(4, 4, m_banks=6, cells_per_bank=2, seed=15)
+        sw.run(BernoulliUniform(4, 4, 1.0, seed=16), 2000)
+        assert all(0 <= occ <= 2 for occ in sw.bank_occ)
+
+
+class TestKnockout:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnockoutSwitch(4, 4, l_paths=0)
+
+    def test_loss_matches_analysis(self):
+        """Simulated knockout loss tracks E[(X-L)+]/E[X] from [YeHA87]."""
+        n, p, l_paths = 16, 1.0, 2
+        sw = KnockoutSwitch(n, n, l_paths=l_paths, warmup=500, seed=17)
+        stats = sw.run(BernoulliUniform(n, n, p, seed=18), 30_000)
+        assert stats.loss_probability == pytest.approx(
+            knockout_loss(n, p, l_paths), rel=0.1
+        )
+
+    def test_l8_loss_negligible(self):
+        """[YeHA87]: L = 8 keeps knockout loss ~1e-6 even at full load."""
+        sw = KnockoutSwitch(16, 16, l_paths=8, warmup=500, seed=19)
+        stats = sw.run(BernoulliUniform(16, 16, 1.0, seed=20), 30_000)
+        assert stats.loss_probability < 1e-3  # sim resolution bound
+        assert knockout_loss(16, 1.0, 8) < 2e-6
+
+    def test_no_knockout_when_l_equals_n(self):
+        sw = KnockoutSwitch(4, 4, l_paths=4, seed=21)
+        sw.run(BernoulliUniform(4, 4, 1.0, seed=22), 3000)
+        assert sw.knockout_drops == 0

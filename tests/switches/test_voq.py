@@ -1,0 +1,73 @@
+"""Tests for the VOQ (non-FIFO input buffering) switch."""
+
+import pytest
+
+from repro.analysis.hol import KAROL_TABLE
+from repro.switches import FifoInputQueued, Islip, MaxSizeMatching, PIM, VoqInputBuffered
+from repro.traffic import BernoulliUniform, FixedPermutation
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VoqInputBuffered(4, 4, PIM(seed=1), capacity_per_input=0)
+    with pytest.raises(ValueError):
+        VoqInputBuffered(4, 4, PIM(seed=1), capacity_per_voq=0)
+
+
+def test_permutation_full_throughput():
+    sw = VoqInputBuffered(4, 4, Islip())
+    stats = sw.run(FixedPermutation([1, 0, 3, 2]), 500)
+    assert stats.throughput == pytest.approx(1.0, abs=0.01)
+
+
+@pytest.mark.parametrize(
+    "scheduler_factory",
+    [lambda: PIM(iterations=4, seed=2), lambda: Islip(iterations=4), lambda: MaxSizeMatching()],
+)
+def test_voq_beats_hol_limit(scheduler_factory):
+    """Removing the FIFO restriction lifts saturation well above 0.586 —
+    the §2.1 claim for non-FIFO input buffering."""
+    n = 8
+    sw = VoqInputBuffered(n, n, scheduler_factory(), warmup=2000)
+    stats = sw.run(BernoulliUniform(n, n, 1.0, seed=3), 20_000)
+    assert stats.throughput > KAROL_TABLE[n] + 0.15
+
+
+def test_voq_latency_worse_than_output_queueing():
+    """§2.2 / [AOST93 fig 3]: scheduled input buffering has higher latency
+    than output queueing at high load (bench E4 quantifies ~2x)."""
+    from repro.switches import OutputQueued
+
+    n, p = 8, 0.8
+    voq = VoqInputBuffered(n, n, PIM(iterations=4, seed=4), warmup=2000)
+    oq = OutputQueued(n, n, warmup=2000, seed=5)
+    d_voq = voq.run(BernoulliUniform(n, n, p, seed=6), 30_000).mean_delay
+    d_oq = oq.run(BernoulliUniform(n, n, p, seed=6), 30_000).mean_delay
+    assert d_voq > d_oq * 1.3
+
+
+def test_per_input_capacity_enforced():
+    sw = VoqInputBuffered(2, 2, PIM(seed=7), capacity_per_input=3)
+    sw.run(BernoulliUniform(2, 2, 1.0, seed=8), 2000)
+    assert max(sw._input_occupancy) <= 3
+    assert sw.stats.dropped > 0
+
+
+def test_per_voq_capacity_enforced():
+    sw = VoqInputBuffered(2, 2, PIM(seed=9), capacity_per_voq=1)
+    sw.run(BernoulliUniform(2, 2, 1.0, seed=10), 2000)
+    for row in sw.voqs:
+        for q in row:
+            assert len(q) <= 1
+
+
+def test_voq_is_strictly_better_than_fifo_on_same_trace():
+    from repro.traffic import TraceSource, record_trace
+
+    n = 8
+    trace = record_trace(BernoulliUniform(n, n, 0.9, seed=11), 10_000)
+    fifo = FifoInputQueued(n, n, warmup=1000, seed=12)
+    voq = VoqInputBuffered(n, n, Islip(), warmup=1000)
+    t_fifo = fifo.run(TraceSource(trace, n), 10_000).throughput
+    t_voq = voq.run(TraceSource(trace, n), 10_000).throughput
+    assert t_voq > t_fifo

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.parametrize(
+    "arch", ["fifo", "voq", "output", "shared", "crosspoint", "block",
+             "speedup", "interleaved", "knockout"],
+)
+def test_simulate_every_architecture(arch, capsys):
+    rc = main(["simulate", "--arch", arch, "-n", "4", "--load", "0.5",
+               "--slots", "1500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "4x4" in out
+
+
+@pytest.mark.parametrize("sched", ["pim", "islip", "2drr", "greedy", "max"])
+def test_simulate_voq_schedulers(sched, capsys):
+    rc = main(["simulate", "--arch", "voq", "--scheduler", sched, "-n", "4",
+               "--load", "0.5", "--slots", "800"])
+    assert rc == 0
+
+
+def test_simulate_bursty(capsys):
+    rc = main(["simulate", "--arch", "shared", "-n", "4", "--load", "0.5",
+               "--slots", "1500", "--burst", "6"])
+    assert rc == 0
+
+
+def test_pipelined_command(capsys):
+    rc = main(["pipelined", "-n", "2", "--load", "0.4", "--cycles", "4000",
+               "--addresses", "32"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "link utilization" in out
+    assert "cut-through" in out
+
+
+def test_pipelined_with_credits_and_quanta(capsys):
+    rc = main(["pipelined", "-n", "2", "--load", "0.8", "--cycles", "4000",
+               "--addresses", "32", "--quanta", "2", "--credits"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "dropped packets      0" in out.replace("  ", " ") or "0" in out
+
+
+def test_wormhole_command(capsys):
+    rc = main(["wormhole", "--k", "4", "--dims", "2", "--lanes", "2",
+               "--load", "0.3", "--cycles", "2000", "--message", "8"])
+    assert rc == 0
+    assert "delivered_fraction" in capsys.readouterr().out
+
+
+def test_wormhole_torus_dateline(capsys):
+    rc = main(["wormhole", "--k", "4", "--dims", "2", "--lanes", "2",
+               "--load", "0.3", "--cycles", "2000", "--message", "8",
+               "--wrap", "--dateline"])
+    assert rc == 0
+    assert "torus" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("chip", ["1", "2", "3"])
+def test_vlsi_reports(chip, capsys):
+    rc = main(["vlsi", "--chip", chip])
+    assert rc == 0
+    assert "paper" in capsys.readouterr().out
+
+
+def test_vlsi_comparisons(capsys):
+    rc = main(["vlsi", "--chip", "3", "--comparisons"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "PRIZMA" in out
+    assert "16x" in out
+
+
+def test_sizing_command(capsys):
+    rc = main(["sizing", "-n", "8", "--load", "0.7", "--target", "1e-2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shared buffering" in out
+    assert "input smoothing" in out

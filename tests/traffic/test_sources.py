@@ -1,0 +1,196 @@
+"""Tests for the slotted traffic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    BernoulliMatrix,
+    BernoulliUniform,
+    BurstyOnOff,
+    FixedPermutation,
+    Hotspot,
+    RandomPermutation,
+    RotatingPermutation,
+    TraceSource,
+    record_trace,
+)
+
+
+def _measure_load(source, slots=4000):
+    cells = 0
+    for t in range(slots):
+        cells += sum(1 for d in source.arrivals(t) if d is not None)
+    return cells / (slots * source.n_in)
+
+
+class TestBernoulliUniform:
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            BernoulliUniform(4, 4, 1.5)
+
+    @pytest.mark.parametrize("load", [0.0, 0.3, 0.8, 1.0])
+    def test_empirical_load(self, load):
+        src = BernoulliUniform(8, 8, load, seed=1)
+        assert _measure_load(src) == pytest.approx(load, abs=0.02)
+        assert src.offered_load == load
+
+    def test_destinations_uniform(self):
+        src = BernoulliUniform(4, 4, 1.0, seed=2)
+        counts = np.zeros(4)
+        for t in range(2000):
+            for d in src.arrivals(t):
+                counts[d] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 0.25, atol=0.02)
+
+    def test_destinations_in_range(self):
+        src = BernoulliUniform(3, 5, 1.0, seed=3)
+        for t in range(100):
+            for d in src.arrivals(t):
+                assert 0 <= d < 5
+
+
+class TestBernoulliMatrix:
+    def test_row_sum_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliMatrix([[0.7, 0.7]])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliMatrix([[-0.1, 0.2]])
+
+    def test_matrix_rates_respected(self):
+        rates = [[0.5, 0.0], [0.0, 0.25]]
+        src = BernoulliMatrix(rates, seed=4)
+        counts = np.zeros((2, 2))
+        slots = 6000
+        for t in range(slots):
+            for i, d in enumerate(src.arrivals(t)):
+                if d is not None:
+                    counts[i][d] += 1
+        assert counts[0][0] / slots == pytest.approx(0.5, abs=0.03)
+        assert counts[0][1] == 0
+        assert counts[1][1] / slots == pytest.approx(0.25, abs=0.03)
+
+    def test_uniform_special_case_load(self):
+        rates = np.full((4, 4), 0.8 / 4)
+        src = BernoulliMatrix(rates, seed=5)
+        assert src.offered_load == pytest.approx(0.8)
+
+
+class TestBurstyOnOff:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyOnOff(2, 2, 0.5, mean_burst=0.5)
+
+    @pytest.mark.parametrize("load,burst", [(0.3, 4.0), (0.6, 10.0), (1.0, 5.0)])
+    def test_long_run_load(self, load, burst):
+        src = BurstyOnOff(8, 8, load, mean_burst=burst, seed=6)
+        assert _measure_load(src, slots=20_000) == pytest.approx(load, abs=0.03)
+
+    def test_bursts_share_destination(self):
+        src = BurstyOnOff(1, 8, 0.5, mean_burst=8.0, seed=7)
+        runs = []
+        current = None
+        length = 0
+        for t in range(5000):
+            d = src.arrivals(t)[0]
+            if d is None:
+                if length:
+                    runs.append(length)
+                current, length = None, 0
+            elif d == current:
+                length += 1
+            else:
+                if length:
+                    runs.append(length)
+                current, length = d, 1
+        # Mean run at one destination should be near the configured burst.
+        assert np.mean(runs) == pytest.approx(8.0, rel=0.3)
+
+
+class TestHotspot:
+    def test_hot_output_attracts_fraction(self):
+        src = Hotspot(8, 8, load=1.0, hot=2, hot_fraction=0.5, seed=8)
+        counts = np.zeros(8)
+        for t in range(3000):
+            for d in src.arrivals(t):
+                counts[d] += 1
+        hot_share = counts[2] / counts.sum()
+        expected = 0.5 + 0.5 / 8
+        assert hot_share == pytest.approx(expected, abs=0.03)
+
+    def test_output_load_formula(self):
+        src = Hotspot(8, 8, load=0.8, hot=0, hot_fraction=0.3)
+        total = sum(src.output_load(j) for j in range(8))
+        assert total == pytest.approx(0.8 * 8)
+        assert src.output_load(0) > src.output_load(1)
+
+
+class TestPermutations:
+    def test_fixed_permutation_no_conflicts(self):
+        src = FixedPermutation([2, 0, 1], load=1.0)
+        for t in range(10):
+            arr = src.arrivals(t)
+            assert sorted(arr) == [0, 1, 2]
+
+    def test_fixed_permutation_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPermutation([0, 0, 1])
+
+    def test_fixed_permutation_thinning_is_exact(self):
+        src = FixedPermutation([1, 0], load=0.5)
+        loads = [src.arrivals(t) for t in range(100)]
+        busy = sum(1 for a in loads if a[0] is not None)
+        assert busy == 50
+
+    def test_rotating_permutation_covers_all_pairs(self):
+        n = 4
+        src = RotatingPermutation(n)
+        seen = set()
+        for t in range(n):
+            for i, d in enumerate(src.arrivals(t)):
+                seen.add((i, d))
+        assert len(seen) == n * n
+
+    def test_random_permutation_conflict_free(self):
+        src = RandomPermutation(6, load=1.0, seed=9)
+        for t in range(50):
+            arr = src.arrivals(t)
+            assert sorted(arr) == list(range(6))
+
+
+class TestTrace:
+    def test_replay_and_padding(self):
+        trace = [[0, None], [1, 1]]
+        src = TraceSource(trace, n_out=2)
+        assert src.arrivals(0) == [0, None]
+        assert src.arrivals(1) == [1, 1]
+        assert src.arrivals(2) == [None, None]
+
+    def test_loop_mode(self):
+        src = TraceSource([[0], [1]], n_out=2, loop=True)
+        assert src.arrivals(5) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceSource([], n_out=1)
+        with pytest.raises(ValueError):
+            TraceSource([[0], [0, 1]], n_out=2)
+        with pytest.raises(ValueError):
+            TraceSource([[7]], n_out=2)
+
+    def test_offered_load(self):
+        src = TraceSource([[0, None], [None, None]], n_out=2)
+        assert src.offered_load == pytest.approx(0.25)
+
+    @given(st.integers(2, 6), st.integers(1, 40))
+    @settings(max_examples=20)
+    def test_record_trace_roundtrip(self, n, slots):
+        src = BernoulliUniform(n, n, 0.5, seed=10)
+        trace = record_trace(src, slots)
+        replay = TraceSource(trace, n_out=n)
+        for t in range(slots):
+            assert replay.arrivals(t) == trace[t]

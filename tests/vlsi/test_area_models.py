@@ -1,0 +1,131 @@
+"""Tests for the VLSI technology, memory, datapath and crossbar models."""
+
+import pytest
+
+from repro.vlsi import (
+    Style,
+    TELEGRAPHOS_II_TECH,
+    TELEGRAPHOS_III_TECH,
+    Technology,
+    bank_dimensions_um,
+    crossbar_cost,
+    decoder_area_um2,
+    input_buffer_peripheral_area,
+    megacell_area_mm2,
+    pipelined_memory_area,
+    pipelined_peripheral_area,
+    pipereg_area_um2,
+    prizma_vs_pipelined_ratio,
+    scaled,
+    shift_register_buffer_area_mm2,
+    wide_memory_area,
+    wide_peripheral_area,
+)
+
+
+class TestTechnology:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Technology(name="bad", feature_um=0.0, style=Style.FULL_CUSTOM)
+
+    def test_area_scales_with_feature_squared(self):
+        t1 = TELEGRAPHOS_III_TECH
+        t2 = scaled(t1, 0.5)
+        assert t2.bit_area() == pytest.approx(t1.bit_area() / 4)
+
+    def test_std_cell_denser_penalty(self):
+        fc = TELEGRAPHOS_III_TECH
+        std = scaled(fc, 1.0, style=Style.STANDARD_CELL)
+        assert std.wire_pitch_um() > fc.wire_pitch_um()
+
+    def test_clock_scaling(self):
+        assert TELEGRAPHOS_III_TECH.clock_ns() == pytest.approx(16.0)
+        assert TELEGRAPHOS_III_TECH.clock_ns(worst_case=False) == pytest.approx(10.0)
+        assert TELEGRAPHOS_II_TECH.clock_ns() == pytest.approx(40.0, rel=0.01)
+
+
+class TestMemoryArea:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipelined_memory_area(TELEGRAPHOS_III_TECH, 0, 256, 16)
+
+    def test_megacell_matches_published(self):
+        """Telegraphos II megacell: 256x16 compiled SRAM = 1.5 x 0.9 mm^2."""
+        area = megacell_area_mm2(TELEGRAPHOS_II_TECH, 256, 16)
+        assert area == pytest.approx(1.35, rel=0.02)
+
+    def test_pipereg_is_2_3x_smaller_than_decoder(self):
+        tech = TELEGRAPHOS_III_TECH
+        ratio = decoder_area_um2(tech, 256) / pipereg_area_um2(tech, 256)
+        assert ratio == pytest.approx(2.3)
+
+    def test_address_pipeline_saves_area(self):
+        """Figure 7b vs 7a: pipeline registers beat per-bank decoders."""
+        tech = TELEGRAPHOS_III_TECH
+        with_pipe = pipelined_memory_area(tech, 16, 256, 16, address_pipeline=True)
+        without = pipelined_memory_area(tech, 16, 256, 16, address_pipeline=False)
+        assert with_pipe.total_mm2 < without.total_mm2
+        assert with_pipe.bits_mm2 == without.bits_mm2
+
+    def test_wide_same_bits_fewer_decoders(self):
+        tech = TELEGRAPHOS_III_TECH
+        pipe = pipelined_memory_area(tech, 16, 256, 16)
+        wide = wide_memory_area(tech, 256, 16 * 16)
+        assert wide.bits_mm2 == pytest.approx(pipe.bits_mm2)
+        assert wide.decoders_mm2 < pipe.decoders_mm2 + pipe.pipeline_regs_mm2
+
+    def test_bank_dimensions(self):
+        w, h = bank_dimensions_um(TELEGRAPHOS_III_TECH, 256, 16)
+        assert w > 0 and h > 0
+        assert h / w == pytest.approx(256 / 16)
+
+    def test_shift_register_4x_penalty(self):
+        """§5.3: a dynamic shift-register bit is 4x a RAM bit."""
+        tech = TELEGRAPHOS_III_TECH
+        ram = pipelined_memory_area(tech, 16, 256, 16).bits_mm2
+        sr = shift_register_buffer_area_mm2(tech, 16, 256, 16)
+        assert sr / ram == pytest.approx(4.0)
+
+
+class TestPeripheralArea:
+    def test_telegraphos3_peripheral_about_9mm2(self):
+        dp = pipelined_peripheral_area(TELEGRAPHOS_III_TECH, 8, 16, 16)
+        assert dp.area_mm2 == pytest.approx(9.0, rel=0.1)
+
+    def test_grows_with_square_of_links(self):
+        """§4.4: 'the peripheral circuit area grows with the square of the
+        number of links'."""
+        tech = TELEGRAPHOS_III_TECH
+        a4 = pipelined_peripheral_area(tech, 4, 16).area_mm2
+        a8 = pipelined_peripheral_area(tech, 8, 16).area_mm2
+        assert a8 / a4 == pytest.approx(4.0, rel=0.05)
+
+    def test_wide_peripheral_about_50pc_larger(self):
+        """§5.2: wide-memory peripheral = 13 vs 9 mm^2 at Telegraphos III
+        parameters (~30 % saving for the pipelined organization)."""
+        tech = TELEGRAPHOS_III_TECH
+        pipe = pipelined_peripheral_area(tech, 8, 16, 16).area_mm2
+        wide = wide_peripheral_area(tech, 8, 16, 16).area_mm2
+        assert 1 - pipe / wide == pytest.approx(1 / 3, abs=0.05)
+
+    def test_input_buffer_crossbar_half_the_shared_datapath(self):
+        """§5.1: input buffering needs one ~2nw x nw block, shared needs two."""
+        tech = TELEGRAPHOS_III_TECH
+        shared = pipelined_peripheral_area(tech, 8, 16).area_mm2
+        inp = input_buffer_peripheral_area(tech, 8, 16).area_mm2
+        assert inp == pytest.approx(shared / 2, rel=0.05)
+
+
+class TestCrossbar:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossbar_cost(TELEGRAPHOS_III_TECH, 0, 4, 16)
+
+    def test_crosspoint_count(self):
+        c = crossbar_cost(TELEGRAPHOS_III_TECH, 8, 16, 16)
+        assert c.crosspoints == 8 * 16 * 16
+
+    def test_prizma_ratio_is_16x(self):
+        """§5.3: 'the shared-buffer crossbars would cost 16 times more in
+        the PRIZMA architecture' (2n=16, M=256)."""
+        assert prizma_vs_pipelined_ratio(8, 256) == pytest.approx(16.0)

@@ -1,0 +1,62 @@
+"""Tests for the block-crosspoint silicon model (paper §3.5's scaling path)."""
+
+import pytest
+
+from repro.vlsi import block_crosspoint_cost, block_size_sweep
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        block_crosspoint_cost(n=16, g=3)  # 3 does not divide 16
+
+
+def test_full_block_is_single_shared_buffer():
+    c = block_crosspoint_cost(n=16, g=16)
+    assert c.blocks == 1
+    assert c.quantum_bits == 2 * 16 * 16
+    # consistent with the E3/[HlKa88] shared sizing at the same point
+    assert 40 <= c.capacity_per_block <= 90
+
+
+def test_quantum_shrinks_with_block_size():
+    """The §3.5 escape hatch: smaller blocks -> smaller packet quantum."""
+    sweep = block_size_sweep(n=16)
+    quanta = [c.quantum_bits for c in sweep]
+    assert quanta == sorted(quanta, reverse=True)
+    assert sweep[0].quantum_bits == 8 * sweep[-1].quantum_bits  # g 16 -> 2
+
+
+def test_total_capacity_grows_as_sharing_shrinks():
+    """Partitioned pools cannot share: the memory bill rises steeply."""
+    sweep = block_size_sweep(n=16)
+    totals = [c.total_capacity for c in sweep]
+    assert totals == sorted(totals)
+    assert totals[-1] > 10 * totals[0]
+
+
+def test_datapath_area_roughly_constant():
+    """(n/g)^2 blocks x (2gw)^2 wires each = (2nw)^2 regardless of g."""
+    sweep = block_size_sweep(n=16)
+    areas = [c.datapath_mm2 for c in sweep]
+    assert max(areas) / min(areas) < 1.05
+
+
+def test_memory_area_dominates_at_small_blocks():
+    small = block_crosspoint_cost(n=16, g=2)
+    assert small.memory_mm2 > small.datapath_mm2
+
+
+def test_sizing_validated_by_simulation():
+    """The analytic per-block capacity achieves the loss target in the
+    behavioural block-crosspoint simulator."""
+    from repro.switches import BlockCrosspoint
+    from repro.traffic import BernoulliUniform
+
+    n, g, load, target = 8, 4, 0.8, 1e-2
+    c = block_crosspoint_cost(n=n, g=g, load=load, loss_target=target)
+    sw = BlockCrosspoint(
+        n, n, block=g, capacity_per_block=c.capacity_per_block,
+        warmup=3000, seed=1,
+    )
+    stats = sw.run(BernoulliUniform(n, n, load, seed=2), 60_000)
+    assert stats.loss_probability <= target * 2

@@ -1,0 +1,87 @@
+"""Property-based tests of the silicon models: scaling laws that must hold
+for *any* configuration, not just the calibrated Telegraphos points."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vlsi import (
+    Style,
+    TELEGRAPHOS_III_TECH,
+    Technology,
+    crossbar_cost,
+    pipelined_memory_area,
+    pipelined_peripheral_area,
+    scaled,
+    wide_peripheral_area,
+    wordline_delay,
+)
+
+techs = st.builds(
+    lambda f, s: Technology(name="t", feature_um=f, style=s),
+    f=st.floats(0.2, 2.0),
+    s=st.sampled_from(list(Style)),
+)
+
+
+@given(tech=techs, n_banks=st.integers(1, 64), addresses=st.integers(1, 1024),
+       width=st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_memory_area_positive_and_monotone_in_bits(tech, n_banks, addresses, width):
+    area = pipelined_memory_area(tech, n_banks, addresses, width)
+    assert area.total_mm2 > 0
+    bigger = pipelined_memory_area(tech, n_banks, addresses + 1, width)
+    assert bigger.total_mm2 > area.total_mm2
+
+
+@given(tech=techs, n=st.integers(1, 32), width=st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_peripheral_square_law(tech, n, width):
+    """Doubling the links quadruples the peripheral area — always."""
+    a = pipelined_peripheral_area(tech, n, width).area_mm2
+    b = pipelined_peripheral_area(tech, 2 * n, width).area_mm2
+    assert b == pytest.approx(4 * a, rel=1e-9)
+
+
+@given(tech=techs, n=st.integers(1, 32), width=st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_wide_always_costs_more_peripheral(tech, n, width):
+    pipe = pipelined_peripheral_area(tech, n, width).area_mm2
+    wide = wide_peripheral_area(tech, n, width).area_mm2
+    assert wide > pipe
+
+
+@given(f=st.floats(0.2, 2.0))
+@settings(max_examples=30, deadline=None)
+def test_area_scales_with_f_squared(f):
+    base = TELEGRAPHOS_III_TECH
+    other = scaled(base, f)
+    ratio = (f / base.feature_um) ** 2
+    a0 = pipelined_memory_area(base, 8, 128, 16).total_mm2
+    a1 = pipelined_memory_area(other, 8, 128, 16).total_mm2
+    assert a1 == pytest.approx(a0 * ratio, rel=1e-9)
+
+
+@given(tech=techs, rows=st.integers(1, 64), cols=st.integers(1, 512),
+       width=st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_crossbar_cost_bilinear(tech, rows, cols, width):
+    c = crossbar_cost(tech, rows, cols, width)
+    d = crossbar_cost(tech, rows, 2 * cols, width)
+    assert d.crosspoints == 2 * c.crosspoints
+    assert d.area_mm2 == pytest.approx(2 * c.area_mm2, rel=1e-9)
+
+
+@given(tech=techs, span=st.integers(1, 2048))
+@settings(max_examples=50, deadline=None)
+def test_wordline_delay_monotone_superlinear(tech, span):
+    d1 = wordline_delay(tech, span)
+    d2 = wordline_delay(tech, 2 * span)
+    assert d2.total_ns > d1.total_ns
+    assert d2.wire_delay_ns == pytest.approx(4 * d1.wire_delay_ns, rel=1e-9)
+
+
+@given(tech=techs)
+@settings(max_examples=30, deadline=None)
+def test_clock_worst_slower_than_typical(tech):
+    assert tech.clock_ns(worst_case=True) > tech.clock_ns(worst_case=False)

@@ -1,0 +1,122 @@
+"""Tests reproducing every §4/§5 number from the calibrated model."""
+
+import pytest
+
+from repro.vlsi import (
+    factor_of_22_report,
+    pipelined_vs_prizma,
+    pipelined_vs_wide,
+    shared_vs_input_buffering,
+    telegraphos1_report,
+    telegraphos2_report,
+    telegraphos3_report,
+)
+
+
+class TestTelegraphos1:
+    def test_config_figures(self):
+        r = telegraphos1_report()
+        assert r["model"]["links"] == r["published"]["links"]
+        assert r["model"]["link_mbps"] == pytest.approx(
+            r["published"]["link_mbps"], rel=0.01
+        )
+        assert r["model"]["packet_bytes"] == r["published"]["packet_bytes"]
+        assert r["model"]["stages"] == r["published"]["stages"]
+        assert r["model"]["sram_chips"] == r["published"]["sram_chips"]
+
+    def test_gate_counts_same_ballpark(self):
+        r = telegraphos1_report()
+        assert r["model"]["datapath_gates"] == pytest.approx(
+            r["published"]["datapath_gates"], rel=0.35
+        )
+        assert r["model"]["control_gates"] == pytest.approx(
+            r["published"]["control_gates"], rel=0.35
+        )
+
+
+class TestTelegraphos2:
+    def test_all_die_numbers(self):
+        r = telegraphos2_report()
+        pub, mod = r["published"], r["model"]
+        assert mod["megacell_mm2"] == pytest.approx(pub["megacell_mm2"], rel=0.02)
+        assert mod["sram_total_mm2"] == pytest.approx(pub["sram_total_mm2"], rel=0.05)
+        assert mod["peripheral_cells_mm2"] == pytest.approx(
+            pub["peripheral_cells_mm2"], rel=0.1
+        )
+        assert mod["bus_routing_mm2"] == pytest.approx(pub["bus_routing_mm2"], rel=0.1)
+        assert mod["buffer_total_mm2"] == pytest.approx(pub["buffer_total_mm2"], rel=0.07)
+        assert mod["clock_ns"] == pytest.approx(pub["clock_ns"], rel=0.01)
+        assert mod["link_mbps"] == pytest.approx(pub["link_mbps"], rel=0.01)
+
+
+class TestTelegraphos3:
+    def test_all_buffer_numbers(self):
+        r = telegraphos3_report()
+        pub, mod = r["published"], r["model"]
+        for key in ("links", "stages", "packets", "packet_bits"):
+            assert mod[key] == pub[key]
+        assert mod["buffer_kbit"] == pub["buffer_kbit"]
+        assert mod["clock_worst_ns"] == pytest.approx(pub["clock_worst_ns"])
+        assert mod["clock_typical_ns"] == pytest.approx(pub["clock_typical_ns"])
+        assert mod["link_gbps_worst"] == pytest.approx(pub["link_gbps_worst"])
+        assert mod["aggregate_gbps"] == pytest.approx(pub["aggregate_gbps"])
+        assert mod["peripheral_mm2"] == pytest.approx(pub["peripheral_mm2"], rel=0.1)
+        assert mod["buffer_total_mm2"] == pytest.approx(
+            pub["buffer_total_mm2"], rel=0.05
+        )
+        assert mod["stdcell_peripheral_4x4_mm2"] == pytest.approx(
+            pub["stdcell_peripheral_4x4_mm2"], rel=0.1
+        )
+
+    def test_factor_of_22(self):
+        """§4.4: 2x links x 2.5x clock x 4.5x area ~ 22."""
+        r = factor_of_22_report()
+        assert r["model"]["links"] == pytest.approx(2.0)
+        assert r["model"]["clock"] == pytest.approx(2.5, rel=0.01)
+        assert r["model"]["area"] == pytest.approx(4.5, rel=0.15)
+        assert r["model"]["product"] == pytest.approx(22.0, rel=0.2)
+
+    def test_8x8_stdcell_18x_larger(self):
+        """§4.4: an 8x8 standard-cell peripheral would be ~18x the
+        full-custom one (square-of-links scaling from the 41 mm^2 figure)."""
+        from repro.vlsi import (
+            Style,
+            Technology,
+            pipelined_peripheral_area,
+        )
+
+        std = Technology(name="1um std", feature_um=1.0, style=Style.STANDARD_CELL)
+        fc = pipelined_peripheral_area(
+            __import__("repro.vlsi", fromlist=["TELEGRAPHOS_III_TECH"]).TELEGRAPHOS_III_TECH,
+            8, 16, 16,
+        ).area_mm2
+        big = pipelined_peripheral_area(std, 8, 16, 16).area_mm2
+        assert big / fc == pytest.approx(18.0, rel=0.1)
+
+
+class TestSection5:
+    def test_pipelined_vs_wide(self):
+        """§5.2: 9 vs 13 mm^2, ~30 % smaller peripheral."""
+        r = pipelined_vs_wide()
+        assert r["pipelined_peripheral_mm2"] == pytest.approx(9.0, rel=0.1)
+        assert r["wide_peripheral_mm2"] == pytest.approx(13.0, rel=0.1)
+        assert r["peripheral_saving"] == pytest.approx(0.30, abs=0.05)
+        assert r["pipelined_total_mm2"] < r["wide_total_mm2"]
+
+    def test_pipelined_vs_prizma(self):
+        """§5.3: crossbars 16x, shift registers 4x."""
+        r = pipelined_vs_prizma()
+        assert r["crosspoint_ratio"] == pytest.approx(16.0)
+        assert r["analytic_ratio"] == pytest.approx(16.0)
+        assert r["prizma_crossbar_mm2"] > 10 * r["pipelined_crossbar_mm2"]
+        assert r["shift_register_penalty"] == pytest.approx(4.0)
+
+    def test_shared_vs_input(self):
+        """§5.1: H_s << H_i at equal performance, so the shared storage
+        array is much smaller; datapath blocks are comparable (2 vs 1+sched)."""
+        r = shared_vs_input_buffering()
+        assert r.height_ratio > 5
+        assert r.shared_storage_mm2 < r.input_storage_mm2 / 5
+        assert r.shared_datapath_mm2 == pytest.approx(
+            2 * r.input_datapath_mm2, rel=0.1
+        )

@@ -1,0 +1,117 @@
+"""Tests for the timing models and floorplan arithmetic."""
+
+import pytest
+
+from repro.vlsi import (
+    Block,
+    Floorplan,
+    TELEGRAPHOS_II_TECH,
+    TELEGRAPHOS_III_TECH,
+    aggregate_buffer_throughput_gbps,
+    clock_cycle_ns,
+    link_throughput_gbps,
+    optimal_split,
+    row,
+    stack,
+    wide_vs_pipelined_wordline_ratio,
+    wordline_delay,
+)
+
+
+class TestWordline:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wordline_delay(TELEGRAPHOS_III_TECH, 0)
+
+    def test_delay_superlinear_in_span(self):
+        """§4.3: word-line RC delay grows with the square of the length."""
+        tech = TELEGRAPHOS_III_TECH
+        d1 = wordline_delay(tech, 16)
+        d2 = wordline_delay(tech, 256)
+        assert d2.wire_delay_ns / d1.wire_delay_ns == pytest.approx(256.0, rel=0.01)
+        assert d2.total_ns > 16 * d1.total_ns  # much worse than linear
+
+    def test_wide_vs_pipelined_ratio_large(self):
+        ratio = wide_vs_pipelined_wordline_ratio(TELEGRAPHOS_III_TECH, 8, 16)
+        assert ratio > 10  # the §4.3 argument: wide word lines are untenable
+
+    def test_optimal_split_reaches_figure_7a(self):
+        """A wide word line must be split into many blocks (each with its
+        own decoder) to meet the pipelined memory's per-bank delay —
+        'arriving at a floorplan and area similar to figure 7(a)'."""
+        tech = TELEGRAPHOS_III_TECH
+        budget = wordline_delay(tech, 16).total_ns
+        blocks = optimal_split(tech, 256, budget)
+        assert blocks >= 8  # close to the 16 banks of the pipelined design
+
+    def test_split_of_fast_line_is_one(self):
+        tech = TELEGRAPHOS_III_TECH
+        assert optimal_split(tech, 16, wordline_delay(tech, 16).total_ns) == 1
+
+
+class TestClock:
+    def test_telegraphos_clocks(self):
+        assert clock_cycle_ns(TELEGRAPHOS_III_TECH) == pytest.approx(16.0)
+        assert clock_cycle_ns(TELEGRAPHOS_III_TECH, worst_case=False) == pytest.approx(10.0)
+        assert clock_cycle_ns(TELEGRAPHOS_II_TECH) == pytest.approx(40.0, rel=0.01)
+
+    def test_telegraphos3_link_throughput(self):
+        """§4.4: 1 Gb/s per link worst case, 1.6 Gb/s typical."""
+        assert link_throughput_gbps(TELEGRAPHOS_III_TECH, 16) == pytest.approx(1.0)
+        assert link_throughput_gbps(
+            TELEGRAPHOS_III_TECH, 16, worst_case=False
+        ) == pytest.approx(1.6)
+
+    def test_aggregate_16gbps(self):
+        assert aggregate_buffer_throughput_gbps(
+            TELEGRAPHOS_III_TECH, 16, 16
+        ) == pytest.approx(16.0)
+
+
+class TestFloorplan:
+    def test_block_area(self):
+        assert Block("b", 2.0, 3.0).area_mm2 == 6.0
+        with pytest.raises(ValueError):
+            Block("bad", -1.0, 1.0)
+
+    def test_row_and_stack(self):
+        blocks = [Block("a", 1.0, 2.0), Block("b", 3.0, 1.0)]
+        r = row("r", blocks)
+        assert (r.width_mm, r.height_mm) == (4.0, 2.0)
+        s = stack("s", blocks)
+        assert (s.width_mm, s.height_mm) == (3.0, 3.0)
+        with pytest.raises(ValueError):
+            row("empty", [])
+
+    def test_rotation(self):
+        b = Block("b", 1.0, 2.0).rotated()
+        assert (b.width_mm, b.height_mm) == (2.0, 1.0)
+
+    def test_fits_and_utilization(self):
+        fp = Floorplan(8.5, 8.5)
+        fp.add(Block("buffer", 6.0, 5.5))
+        assert fp.fits()
+        assert fp.utilization == pytest.approx(33.0 / 72.25)
+        fp.add(Block("huge", 9.0, 9.0))
+        assert not fp.fits()
+
+    def test_telegraphos2_die_budget(self):
+        """Figure 6 arithmetic: 8 megacells + peripheral + routing fit the
+        8.5 x 8.5 mm die with room for the link/control blocks."""
+        from repro.vlsi import megacell_area_mm2, pipelined_peripheral_area
+
+        tech = TELEGRAPHOS_II_TECH
+        fp = Floorplan(8.5, 8.5)
+        sram = megacell_area_mm2(tech, 256, 16)
+        for k in range(8):
+            fp.add(Block(f"DB{k}", 1.5, sram / 1.5))
+        # Figure 6 places the peripheral standard cells in *two* regions in
+        # the middle of the chip; fold the strip accordingly.
+        dp = pipelined_peripheral_area(tech, 4, 16, 8)
+        half_w = dp.width_mm / 2
+        fp.add(Block("periph region A", half_w, dp.area_mm2 / dp.width_mm))
+        fp.add(Block("periph region B", half_w, dp.area_mm2 / dp.width_mm))
+        assert fp.fits()
+        buffer_total = fp.used_area_mm2
+        assert buffer_total == pytest.approx(32.0, rel=0.07)
+        assert fp.utilization < 0.5  # the rest hosts RT/HM/link logic
