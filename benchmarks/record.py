@@ -1,0 +1,138 @@
+"""Record checked-model vs fast-kernel timings into BENCH_fastpath.json.
+
+Runs the E15-shaped functional workloads and the E13-shaped pipelined
+operating points with both kernels, asserts that every statistic is
+bit-identical, and writes per-experiment wall time, cycles/sec, and speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py          # full horizons
+    PYTHONPATH=src python benchmarks/record.py --smoke  # ~30 s CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import (
+    FastPipelinedSwitch,
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    RenewalPacketSource,
+    SaturatingSource,
+)
+
+OUT_PATH = Path(__file__).parent / "BENCH_fastpath.json"
+
+
+def _fingerprint(sw) -> dict:
+    """Everything the two kernels must agree on, bit for bit."""
+    return {
+        "stats": sw.stats,
+        "ct_latency": sw.ct_latency,
+        "ct_latency_hist": sw.ct_latency_hist,
+        "total_latency": sw.total_latency,
+        "stagger_extra": sw.stagger_extra,
+        "cut_through_waves": sw.cut_through_waves,
+        "plain_read_waves": sw.plain_read_waves,
+        "write_waves": sw.write_waves,
+        "idle_cycles": sw.idle_cycles,
+        "deadline_overrides": sw.deadline_overrides,
+        "overrun_drops": sw.overrun_drops,
+        "cycle": sw.cycle,
+    }
+
+
+def _run(switch_cls, cfg, make_source, cycles: int, drain: bool):
+    sw = switch_cls(cfg, make_source())
+    t0 = time.perf_counter()
+    sw.run(cycles)
+    if drain:
+        sw.drain()
+    elapsed = time.perf_counter() - t0
+    return sw, elapsed
+
+
+def _experiments(scale: int):
+    """(name, cfg, source factory, cycles, drain) for each workload."""
+    e15_1 = PipelinedSwitchConfig(n=8, addresses=128)
+    e15_2 = PipelinedSwitchConfig(n=8, addresses=64, credit_flow=True)
+    e15_3 = PipelinedSwitchConfig(n=4, addresses=8)
+    e13 = PipelinedSwitchConfig(n=8, addresses=256, credit_flow=True)
+    b = e13.packet_words
+    e13_cycles = (20_000 * b // 2) // scale
+    return [
+        ("E15 8x8 load 0.6 drop-tail", e15_1,
+         lambda: RenewalPacketSource(n_out=8, packet_words=e15_1.packet_words,
+                                     load=0.6, seed=1),
+         150_000 // scale, True),
+        ("E15 8x8 saturated credits", e15_2,
+         lambda: SaturatingSource(n_out=8, packet_words=e15_2.packet_words, seed=2),
+         150_000 // scale, False),
+        ("E15 4x4 saturated tiny buffer", e15_3,
+         lambda: SaturatingSource(n_out=4, packet_words=e15_3.packet_words, seed=3),
+         100_000 // scale, True),
+        ("E13 pipelined saturation point", e13,
+         lambda: RenewalPacketSource(n_out=8, packet_words=b, load=1.0, seed=2),
+         e13_cycles, False),
+        ("E13 pipelined latency point", e13,
+         lambda: RenewalPacketSource(n_out=8, packet_words=b, load=0.8, seed=3),
+         e13_cycles, False),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="scale horizons down ~20x for a quick CI check")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+    scale = 20 if args.smoke else 1
+
+    results = []
+    for name, cfg, make_source, cycles, drain in _experiments(scale):
+        slow, t_slow = _run(PipelinedSwitch, cfg, make_source, cycles, drain)
+        fast, t_fast = _run(FastPipelinedSwitch, cfg, make_source, cycles, drain)
+        fp_slow, fp_fast = _fingerprint(slow), _fingerprint(fast)
+        for key, want in fp_slow.items():
+            got = fp_fast[key]
+            assert got == want, f"{name}: {key} mismatch\n  checked={want}\n  fast={got}"
+        total_cycles = fp_slow["cycle"]  # includes drain cycles
+        results.append({
+            "experiment": name,
+            "cycles": total_cycles,
+            "checked_seconds": round(t_slow, 4),
+            "fast_seconds": round(t_fast, 4),
+            "checked_cycles_per_sec": round(total_cycles / t_slow),
+            "fast_cycles_per_sec": round(total_cycles / t_fast),
+            "speedup": round(t_slow / t_fast, 2),
+            "delivered": fp_slow["stats"].delivered,
+            "dropped": fp_slow["stats"].dropped,
+            "identical": True,
+        })
+        print(f"{name:34s} {t_slow:7.2f}s -> {t_fast:6.2f}s "
+              f"({results[-1]['speedup']:.1f}x), stats identical")
+
+    payload = {
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    slowest = min(r["speedup"] for r in results)
+    print(f"minimum speedup across workloads: {slowest:.1f}x")
+    if not args.smoke and slowest < 5.0:
+        print("WARNING: below the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

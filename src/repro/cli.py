@@ -109,12 +109,19 @@ def _add_pipelined(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--credits", action="store_true",
                    help="credit-based (lossless) flow control")
     p.add_argument("--no-cut-through", action="store_true")
+    p.add_argument("--fast", action="store_true",
+                   help="wave-level fast kernel (bit-identical statistics, "
+                        "no per-word invariant checking)")
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=cmd_pipelined)
 
 
 def cmd_pipelined(args) -> int:
-    from repro.core import PipelinedSwitch, PipelinedSwitchConfig, RenewalPacketSource
+    from repro.core import (
+        PipelinedSwitchConfig,
+        RenewalPacketSource,
+        make_pipelined_switch,
+    )
 
     cfg = PipelinedSwitchConfig(
         n=args.n, addresses=args.addresses, width_bits=args.width,
@@ -125,7 +132,7 @@ def cmd_pipelined(args) -> int:
         n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
         width_bits=cfg.width_bits, seed=args.seed,
     )
-    switch = PipelinedSwitch(cfg, src)
+    switch = make_pipelined_switch(cfg, src, fast=args.fast)
     switch.warmup = args.cycles // 10
     switch.run(args.cycles)
     if not args.credits:
@@ -145,6 +152,84 @@ def cmd_pipelined(args) -> int:
         title=(f"pipelined memory {cfg.n}x{cfg.n}, {cfg.depth} stages, "
                f"{cfg.packet_words}-word packets, load {args.load}"),
     ))
+    return 0
+
+
+def _add_bench(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="time the pipelined switch kernels on a fixed E15-shaped workload",
+    )
+    p.add_argument("--cycles", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--kernel", choices=["checked", "fast", "both"], default="both",
+                   help="which kernel(s) to run")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top 20 functions "
+                        "by cumulative time (forces a single kernel; "
+                        "default checked)")
+    p.set_defaults(func=cmd_bench)
+
+
+def cmd_bench(args) -> int:
+    import time
+
+    from repro.core import (
+        PipelinedSwitchConfig,
+        RenewalPacketSource,
+        make_pipelined_switch,
+    )
+
+    if args.cycles < 0:
+        raise SystemExit(f"repro bench: error: --cycles must be >= 0, got {args.cycles}")
+
+    # E15 scenario 1 shape: 8x8, 128 addresses, drop-tail, load 0.6.
+    cfg = PipelinedSwitchConfig(n=8, addresses=128)
+
+    def build(fast: bool):
+        src = RenewalPacketSource(
+            n_out=cfg.n, packet_words=cfg.packet_words, load=0.6,
+            width_bits=cfg.width_bits, seed=args.seed,
+        )
+        switch = make_pipelined_switch(cfg, src, fast=fast)
+        switch.warmup = args.cycles // 10
+        return switch
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        kernel = "checked" if args.kernel == "both" else args.kernel
+        switch = build(fast=(kernel == "fast"))
+        prof = cProfile.Profile()
+        prof.enable()
+        switch.run(args.cycles)
+        prof.disable()
+        print(f"{kernel} kernel, {args.cycles} cycles "
+              f"({cfg.n}x{cfg.n}, {cfg.depth} stages, load 0.6)")
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(20)
+        return 0
+
+    kernels = ["checked", "fast"] if args.kernel == "both" else [args.kernel]
+    rows = []
+    timings = {}
+    for kernel in kernels:
+        switch = build(fast=(kernel == "fast"))
+        t0 = time.perf_counter()
+        switch.run(args.cycles)
+        elapsed = time.perf_counter() - t0
+        timings[kernel] = elapsed
+        rows.append([
+            kernel, round(elapsed, 3), round(args.cycles / elapsed),
+            switch.stats.delivered, switch.stats.dropped,
+        ])
+    print(format_table(
+        ["kernel", "seconds", "cycles/s", "delivered", "dropped"], rows,
+        title=(f"E15-shaped workload: {cfg.n}x{cfg.n}, {cfg.depth} stages, "
+               f"load 0.6, {args.cycles} cycles"),
+    ))
+    if len(timings) == 2:
+        print(f"speedup: {timings['checked'] / timings['fast']:.1f}x")
     return 0
 
 
@@ -258,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
     _add_pipelined(sub)
+    _add_bench(sub)
     _add_wormhole(sub)
     _add_vlsi(sub)
     _add_sizing(sub)

@@ -12,6 +12,11 @@ from repro.core.bank import BankConflictError, MemoryBank
 from repro.core.buffer_manager import BufferFullError, BufferManager
 from repro.core.bus import Bus, BusContentionError
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
+from repro.core.fastpath import (
+    FastPathUnsupportedError,
+    FastPipelinedSwitch,
+    make_pipelined_switch,
+)
 from repro.core.latches import InputLatchRow, LatchOverrunError, OutputRegisterRow
 from repro.core.sources import (
     PacketSink,
@@ -35,6 +40,9 @@ __all__ = [
     "PipelinedSwitch",
     "PipelinedSwitchConfig",
     "DeadlineMissedError",
+    "FastPipelinedSwitch",
+    "FastPathUnsupportedError",
+    "make_pipelined_switch",
     "WaveTracer",
     "WideMemorySwitch",
     "WideSwitchConfig",

@@ -11,6 +11,7 @@ given cycle with unconditional probability ``p / B`` at link load ``p``
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from functools import lru_cache
 
 import numpy as np
 
@@ -18,16 +19,46 @@ import numpy as np
 from repro.sim.rng import make_rng
 from repro.traffic.base import TrafficSource
 
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_U64 = 0xFFFFFFFFFFFFFFFF
 
-def deterministic_payload(uid: int, size: int, width_bits: int = 16) -> tuple[int, ...]:
-    """Pseudo-random but uid-reproducible payload words (for integrity checks)."""
-    mask = (1 << width_bits) - 1
-    x = (uid * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
-    out = []
+
+@lru_cache(maxsize=64)
+def _lcg_jump_coefficients(size: int) -> tuple[np.ndarray, np.ndarray]:
+    """(mult, add) with ``x_k = mult[k-1] * x_0 + add[k-1] (mod 2**64)``.
+
+    Closed-form LCG jumping: applying ``x -> M*x + C`` ``k`` times is itself
+    affine, so the whole per-word recurrence collapses to one vectorized
+    multiply-add over precomputed coefficient arrays.
+    """
+    mult = np.empty(size, dtype=np.uint64)
+    add = np.empty(size, dtype=np.uint64)
+    m, a = 1, 0
     for k in range(size):
-        x = (x * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
-        out.append((x >> 17) & mask)
-    return tuple(out)
+        m = (m * _LCG_MULT) & _U64
+        a = (a * _LCG_MULT + _LCG_INC) & _U64
+        mult[k] = m
+        add[k] = a
+    return mult, add
+
+
+@lru_cache(maxsize=65536)
+def deterministic_payload(uid: int, size: int, width_bits: int = 16) -> tuple[int, ...]:
+    """Pseudo-random but uid-reproducible payload words (for integrity checks).
+
+    This sits on the word-level hot path — called once per injected packet
+    and again wherever a sink re-derives the expected payload — so it is
+    memoized and the per-word LCG loop is replaced by a single vectorized
+    jump over precomputed coefficients (bit-identical to the scalar
+    recurrence; ``tests/core/test_sources.py`` pins the values).
+    """
+    mask = (1 << width_bits) - 1
+    x0 = (uid * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+    mult, add = _lcg_jump_coefficients(size)
+    x = mult * np.uint64(x0) + add  # uint64 arithmetic wraps mod 2**64
+    words = (x >> np.uint64(17)) & np.uint64(mask)
+    return tuple(words.tolist())
 
 
 class PacketSource(ABC):

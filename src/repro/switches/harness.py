@@ -19,8 +19,17 @@ SwitchFactory = Callable[[], SlottedSwitch]
 SourceFactory = Callable[[float, int], TrafficSource]  # (load, seed) -> source
 
 
-def run_switch(switch: SlottedSwitch, source: TrafficSource, slots: int) -> SwitchStats:
-    """Drive ``switch`` with ``source`` for ``slots`` slots; return stats."""
+def run_switch(
+    switch: SlottedSwitch, source: TrafficSource, slots: int, fast: bool = False
+) -> SwitchStats:
+    """Drive ``switch`` with ``source`` for ``slots`` slots; return stats.
+
+    ``fast=True`` batches the traffic generation through
+    :meth:`~repro.traffic.base.TrafficSource.arrivals_matrix` — same
+    statistics, different (still seed-deterministic) sample path.
+    """
+    if fast:
+        return switch.run_fast(source, slots)
     return switch.run(source, slots)
 
 
@@ -40,12 +49,13 @@ def throughput_at_load(
     slots: int = 20_000,
     warmup_fraction: float = 0.2,
     seed: int = 1,
+    fast: bool = False,
 ) -> float:
     """Delivered throughput (cells/output/slot) at a given offered load."""
     switch = make_switch()
     switch.stats.warmup = int(slots * warmup_fraction)
     source = make_source(load, seed)
-    stats = switch.run(source, slots)
+    stats = run_switch(switch, source, slots, fast=fast)
     return stats.throughput
 
 
@@ -55,6 +65,7 @@ def saturation_throughput(
     slots: int = 30_000,
     warmup_fraction: float = 0.2,
     seed: int = 1,
+    fast: bool = False,
 ) -> float:
     """Saturation throughput: delivered rate under offered load 1.0.
 
@@ -63,7 +74,7 @@ def saturation_throughput(
     be effectively infinite for this to measure *throughput* rather than loss.
     """
     return throughput_at_load(
-        make_switch, make_source, 1.0, slots, warmup_fraction, seed
+        make_switch, make_source, 1.0, slots, warmup_fraction, seed, fast=fast
     )
 
 
@@ -74,13 +85,14 @@ def latency_vs_load(
     slots: int = 20_000,
     warmup_fraction: float = 0.2,
     seed: int = 1,
+    fast: bool = False,
 ) -> list[tuple[float, float]]:
     """(load, mean in-switch delay) series — the [AOST93 fig 3] axes."""
     series: list[tuple[float, float]] = []
     for load in loads:
         switch = make_switch()
         switch.stats.warmup = int(slots * warmup_fraction)
-        stats = switch.run(make_source(load, seed), slots)
+        stats = run_switch(switch, make_source(load, seed), slots, fast=fast)
         series.append((load, stats.mean_delay))
     return series
 
@@ -93,13 +105,14 @@ def loss_vs_capacity(
     slots: int = 100_000,
     warmup_fraction: float = 0.1,
     seed: int = 1,
+    fast: bool = False,
 ) -> list[tuple[int, float]]:
     """(capacity, loss probability) series — the [HlKa88] axes (bench E3)."""
     series: list[tuple[int, float]] = []
     for cap in capacities:
         switch = make_switch(cap)
         switch.stats.warmup = int(slots * warmup_fraction)
-        stats = switch.run(make_source(load, seed), slots)
+        stats = run_switch(switch, make_source(load, seed), slots, fast=fast)
         series.append((cap, stats.loss_probability))
     return series
 

@@ -46,6 +46,32 @@ class TrafficSource(ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} has no analytic load")
 
+    # -- batched generation ---------------------------------------------------
+    NO_CELL = -1  # matrix encoding of "no arrival" (destinations are >= 0)
+
+    def arrivals_matrix(self, slots: int, start_slot: int = 0) -> np.ndarray:
+        """``(slots, n_in)`` int64 matrix of destinations; ``-1`` = no cell.
+
+        The batched form of :meth:`arrivals`, for harnesses that consume a
+        whole horizon of traffic at once instead of one Python call per slot
+        per port.  This default implementation just loops :meth:`arrivals`
+        (so every source supports it); stochastic subclasses override it
+        with vectorized draws.  **Note**: a vectorized override consumes the
+        underlying RNG in a different order than repeated :meth:`arrivals`
+        calls — both streams are deterministic for a given seed and
+        statistically identical, but they are not the *same* sample path.
+        Stateful sources continue from their current state, so mixing
+        per-slot and batched calls is allowed.
+        """
+        if slots < 0:
+            raise ValueError(f"need slots >= 0, got {slots}")
+        out = np.full((slots, self.n_in), self.NO_CELL, dtype=np.int64)
+        for s in range(slots):
+            for i, dst in enumerate(self.arrivals(start_slot + s)):
+                if dst is not None:
+                    out[s, i] = dst
+        return out
+
 
 class RandomTrafficSource(TrafficSource):
     """Base for stochastic sources; owns a numpy Generator."""

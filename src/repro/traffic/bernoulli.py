@@ -35,6 +35,11 @@ class BernoulliUniform(RandomTrafficSource):
         dests = self.rng.integers(0, self.n_out, size=self.n_in)
         return [int(d) if a else None for a, d in zip(active, dests)]
 
+    def arrivals_matrix(self, slots: int, start_slot: int = 0) -> np.ndarray:
+        active = self.rng.random((slots, self.n_in)) < self.load
+        dests = self.rng.integers(0, self.n_out, size=(slots, self.n_in))
+        return np.where(active, dests, self.NO_CELL)
+
     @property
     def offered_load(self) -> float:
         return self.load
@@ -77,6 +82,16 @@ class BernoulliMatrix(RandomTrafficSource):
             k = int(self.rng.choice(self.n_out + 1, p=self._probs[i]))
             out.append(None if k == 0 else k - 1)
         return out
+
+    def arrivals_matrix(self, slots: int, start_slot: int = 0) -> np.ndarray:
+        # Inverse-CDF sampling per input: one uniform per (slot, input),
+        # searchsorted over the per-input cumulative categorical.
+        u = self.rng.random((slots, self.n_in))
+        out = np.empty((slots, self.n_in), dtype=np.int64)
+        cum = np.cumsum(self._probs, axis=1)
+        for i in range(self.n_in):
+            out[:, i] = np.searchsorted(cum[i], u[:, i], side="right") - 1
+        return out  # category 0 ("no cell") lands exactly on NO_CELL == -1
 
     @property
     def offered_load(self) -> float:

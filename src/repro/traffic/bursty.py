@@ -72,6 +72,40 @@ class BurstyOnOff(RandomTrafficSource):
                 out.append(None)
         return out
 
+    def arrivals_matrix(self, slots: int, start_slot: int = 0) -> np.ndarray:
+        """Run-length (burst/gap) generation: one geometric draw per burst
+        and per idle gap instead of one Bernoulli draw per slot.
+
+        Because both run lengths are geometric (memoryless), truncating a
+        run at the horizon and resuming from the on/off state on the next
+        call is distributionally exact.
+        """
+        out = np.full((slots, self.n_in), self.NO_CELL, dtype=np.int64)
+        if slots == 0 or self.load <= 0.0:
+            return out
+        for i in range(self.n_in):
+            pos = 0
+            while pos < slots:
+                if not self._on[i]:
+                    # Idle gap ~ Geometric(p_start) - 1, support >= 0.
+                    pos += int(self.rng.geometric(self.p_start)) - 1
+                    if pos >= slots:
+                        break  # still off at the horizon
+                    self._on[i] = True
+                    self._dest[i] = int(self.rng.integers(0, self.n_out))
+                # Burst ~ Geometric(p_end), support >= 1, one destination.
+                burst = int(self.rng.geometric(self.p_end))
+                end = pos + burst
+                out[pos:min(end, slots), i] = self._dest[i]
+                if end > slots:
+                    # Burst crosses the horizon: stay on; the remaining
+                    # length is geometric again by memorylessness.
+                    pos = slots
+                else:
+                    pos = end
+                    self._on[i] = False
+        return out
+
     @property
     def offered_load(self) -> float:
         return self.load

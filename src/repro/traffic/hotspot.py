@@ -50,6 +50,13 @@ class Hotspot(RandomTrafficSource):
                 out.append(int(self.rng.integers(0, self.n_out)))
         return out
 
+    def arrivals_matrix(self, slots: int, start_slot: int = 0) -> np.ndarray:
+        active = self.rng.random((slots, self.n_in)) < self.load
+        to_hot = self.rng.random((slots, self.n_in)) < self.hot_fraction
+        dests = self.rng.integers(0, self.n_out, size=(slots, self.n_in))
+        out = np.where(to_hot, self.hot, dests)
+        return np.where(active, out, self.NO_CELL)
+
     @property
     def offered_load(self) -> float:
         return self.load

@@ -1,0 +1,151 @@
+"""Equivalence of the wave-level fast kernel with the checked model.
+
+`FastPipelinedSwitch` must reproduce `PipelinedSwitch` *bit for bit* — not
+just statistically — on every configuration it claims to model: same wave
+counts, same delivered/dropped totals, same per-packet latency accumulators
+(Welford means compared as exact floats), same drain length.  The checked
+model stays the oracle; the fast kernel is only trustworthy because this
+matrix pins it to the oracle across every feature interaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FastPathUnsupportedError,
+    FastPipelinedSwitch,
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    Priority,
+    RenewalPacketSource,
+    SaturatingSource,
+    make_pipelined_switch,
+)
+
+
+def _renewal(cfg, load, seed):
+    return RenewalPacketSource(
+        n_out=cfg.n, packet_words=cfg.packet_words, load=load,
+        width_bits=cfg.width_bits, seed=seed,
+    )
+
+
+def _saturating(cfg, load, seed):
+    return SaturatingSource(n_out=cfg.n, packet_words=cfg.packet_words, seed=seed)
+
+
+def _fingerprint(sw) -> dict:
+    return {
+        "stats": sw.stats,
+        "ct_latency": sw.ct_latency,
+        "ct_latency_hist": sw.ct_latency_hist,
+        "total_latency": sw.total_latency,
+        "stagger_extra": sw.stagger_extra,
+        "cut_through_waves": sw.cut_through_waves,
+        "plain_read_waves": sw.plain_read_waves,
+        "write_waves": sw.write_waves,
+        "idle_cycles": sw.idle_cycles,
+        "deadline_overrides": sw.deadline_overrides,
+        "overrun_drops": sw.overrun_drops,
+        "cycle": sw.cycle,
+        "link_utilization": sw.link_utilization,
+    }
+
+
+def _assert_equivalent(cfg, make_source, cycles, load=0.6, seed=1, warmup=0):
+    slow = PipelinedSwitch(cfg, make_source(cfg, load, seed))
+    fast = FastPipelinedSwitch(cfg, make_source(cfg, load, seed))
+    for sw in (slow, fast):
+        sw.warmup = warmup
+        sw.run(cycles)
+        if not cfg.credit_flow:
+            sw.drain()
+    slow_fp, fast_fp = _fingerprint(slow), _fingerprint(fast)
+    for key, want in slow_fp.items():
+        assert fast_fp[key] == want, f"{key}: checked={want!r} fast={fast_fp[key]!r}"
+
+
+# One row per feature interaction the fast kernel claims to model.  Kept
+# short (few thousand cycles) — record.py covers the long-horizon versions.
+MATRIX = [
+    pytest.param(PipelinedSwitchConfig(n=8, addresses=128),
+                 _renewal, 4000, 0.6, 1, 400, id="8x8-load0.6-droptail"),
+    pytest.param(PipelinedSwitchConfig(n=8, addresses=64, credit_flow=True),
+                 _saturating, 4000, 1.0, 2, 400, id="8x8-saturated-credits"),
+    pytest.param(PipelinedSwitchConfig(n=4, addresses=8),
+                 _saturating, 3000, 1.0, 3, 0, id="4x4-tiny-saturated"),
+    pytest.param(PipelinedSwitchConfig(n=4, addresses=32, cut_through=False),
+                 _renewal, 3000, 0.7, 4, 300, id="4x4-store-and-forward"),
+    pytest.param(PipelinedSwitchConfig(n=4, addresses=32, quanta=2),
+                 _renewal, 3000, 0.7, 5, 0, id="4x4-quanta2"),
+    pytest.param(
+        PipelinedSwitchConfig(n=4, addresses=16, downstream_credits=2,
+                              downstream_rtt=7),
+        _renewal, 3000, 0.9, 6, 0, id="4x4-downstream-credits"),
+    pytest.param(PipelinedSwitchConfig(n=4, addresses=32, link_pipeline_stages=2),
+                 _renewal, 3000, 0.8, 7, 0, id="4x4-wirepipe"),
+    pytest.param(
+        PipelinedSwitchConfig(n=3, addresses=30, quanta=3, credit_flow=True),
+        _renewal, 3000, 0.9, 8, 0, id="3x3-quanta3-credits"),
+    pytest.param(PipelinedSwitchConfig(n=16, addresses=256, credit_flow=True),
+                 _saturating, 2000, 1.0, 9, 200, id="16x16-saturated-credits"),
+]
+
+
+@pytest.mark.parametrize("cfg,make_source,cycles,load,seed,warmup", MATRIX)
+def test_bit_identical_to_checked_model(cfg, make_source, cycles, load, seed, warmup):
+    _assert_equivalent(cfg, make_source, cycles, load=load, seed=seed, warmup=warmup)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    addr_factor=st.integers(1, 8),
+    quanta=st.integers(1, 3),
+    cut_through=st.booleans(),
+    credit_flow=st.booleans(),
+    wirepipe=st.integers(0, 2),
+    load=st.floats(0.2, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_random_configs_identical(
+    n, addr_factor, quanta, cut_through, credit_flow, wirepipe, load, seed
+):
+    cfg = PipelinedSwitchConfig(
+        n=n, addresses=n * quanta * addr_factor, quanta=quanta,
+        cut_through=cut_through, credit_flow=credit_flow,
+        link_pipeline_stages=wirepipe,
+    )
+    _assert_equivalent(cfg, _renewal, 1200, load=load, seed=seed,
+                       warmup=100)
+
+
+def test_drain_and_is_empty_match():
+    cfg = PipelinedSwitchConfig(n=4, addresses=32)
+    slow = PipelinedSwitch(cfg, _renewal(cfg, 0.8, 11))
+    fast = FastPipelinedSwitch(cfg, _renewal(cfg, 0.8, 11))
+    for sw in (slow, fast):
+        sw.run(500)
+    assert fast.is_empty() == slow.is_empty()
+    slow.drain()
+    fast.drain()
+    assert fast.cycle == slow.cycle
+    assert fast.is_empty() and slow.is_empty()
+
+
+@pytest.mark.parametrize("priority", [Priority.WRITES_FIRST, Priority.OLDEST_FIRST])
+def test_refuses_unmodeled_priority(priority):
+    cfg = PipelinedSwitchConfig(n=4, addresses=32, priority=priority)
+    with pytest.raises(FastPathUnsupportedError):
+        FastPipelinedSwitch(cfg, _renewal(cfg, 0.5, 1))
+
+
+def test_factory_selects_kernel():
+    cfg = PipelinedSwitchConfig(n=4, addresses=32)
+    assert isinstance(make_pipelined_switch(cfg, _renewal(cfg, 0.5, 1)),
+                      PipelinedSwitch)
+    assert isinstance(make_pipelined_switch(cfg, _renewal(cfg, 0.5, 1), fast=True),
+                      FastPipelinedSwitch)

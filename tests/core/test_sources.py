@@ -22,6 +22,25 @@ def test_deterministic_payload_reproducible_and_bounded():
     assert deterministic_payload(43, 16) != a
 
 
+def test_deterministic_payload_matches_scalar_lcg():
+    """The vectorized implementation must stay bit-identical to the scalar
+    recurrence it replaced — payloads are part of the trace format."""
+    mask64 = (1 << 64) - 1
+    for uid, size, width in [(0, 1, 16), (42, 16, 16), (7, 33, 8), (123456, 5, 32)]:
+        x = (uid * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF
+        words = []
+        for _ in range(size):
+            x = (x * 6364136223846793005 + 1442695040888963407) & mask64
+            words.append((x >> 17) & ((1 << width) - 1))
+        got = deterministic_payload(uid, size, width_bits=width)
+        assert got == tuple(words)
+        assert all(type(w) is int for w in got)  # cached tuples hold py ints
+
+
+def test_deterministic_payload_is_cached():
+    assert deterministic_payload(99, 8) is deterministic_payload(99, 8)
+
+
 def test_renewal_source_load():
     """Empirical link load approaches the configured value (driving a
     link-busy state machine as the switch does)."""

@@ -1,0 +1,125 @@
+"""Batched `arrivals_matrix` generation: shape, encoding, and statistics.
+
+The vectorized overrides consume the RNG in a different order than the
+per-slot `arrivals()` loop, so the contract is distributional (same load,
+same destination mix, same burst structure), plus exact agreement for the
+base-class fallback, which replays `arrivals()` verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.switches.shared_memory import SharedBuffer
+from repro.traffic.base import TrafficSource
+from repro.traffic.bernoulli import BernoulliMatrix, BernoulliUniform
+from repro.traffic.bursty import BurstyOnOff
+from repro.traffic.hotspot import Hotspot
+
+SOURCES = [
+    pytest.param(lambda: BernoulliUniform(4, 4, 0.6, seed=1), id="bernoulli"),
+    pytest.param(lambda: BernoulliMatrix([[0.1, 0.2, 0.3], [0.3, 0.3, 0.3]],
+                                         seed=2), id="matrix"),
+    pytest.param(lambda: BurstyOnOff(4, 4, 0.5, 8.0, seed=3), id="bursty"),
+    pytest.param(lambda: Hotspot(4, 4, 0.5, hot=2, hot_fraction=0.4, seed=4),
+                 id="hotspot"),
+]
+
+
+@pytest.mark.parametrize("make", SOURCES)
+def test_shape_range_and_load(make):
+    src = make()
+    m = src.arrivals_matrix(20_000)
+    assert m.shape == (20_000, src.n_in)
+    assert m.dtype.kind == "i"
+    assert m.min() >= TrafficSource.NO_CELL
+    assert m.max() < src.n_out
+    empirical = (m >= 0).mean()
+    assert empirical == pytest.approx(src.offered_load, abs=0.02)
+
+
+@pytest.mark.parametrize("make", SOURCES)
+def test_default_fallback_replays_arrivals(make):
+    """TrafficSource.arrivals_matrix (the non-vectorized default) must be
+    exactly the `arrivals()` stream — sources without an override keep
+    their sample path under `run_fast`."""
+    a, b = make(), make()
+    matrix = TrafficSource.arrivals_matrix(a, 300)
+    rows = [b.arrivals(t) for t in range(300)]
+    ref = np.array([[TrafficSource.NO_CELL if d is None else d for d in r]
+                    for r in rows])
+    assert (matrix == ref).all()
+
+
+def test_zero_slots():
+    for make in (p.values[0] for p in SOURCES):
+        m = make().arrivals_matrix(0)
+        assert m.shape == (0, m.shape[1])
+
+
+def test_bernoulli_matrix_rates():
+    rates = [[0.05, 0.0, 0.45], [0.2, 0.2, 0.2]]
+    src = BernoulliMatrix(rates, seed=5)
+    m = src.arrivals_matrix(100_000)
+    for i, row in enumerate(rates):
+        for j, r in enumerate(row):
+            assert (m[:, i] == j).mean() == pytest.approx(r, abs=0.01)
+
+
+def test_hotspot_concentration():
+    src = Hotspot(4, 4, 0.8, hot=1, hot_fraction=0.5, seed=6)
+    m = src.arrivals_matrix(50_000)
+    cells = m[m >= 0]
+    # hot output gets hot_fraction plus its uniform share of the rest
+    expect = 0.5 + 0.5 / 4
+    assert (cells == 1).mean() == pytest.approx(expect, abs=0.01)
+
+
+def test_bursty_burst_lengths_and_state():
+    src = BurstyOnOff(1, 8, 0.5, 10.0, seed=7)
+    m = src.arrivals_matrix(100_000)[:, 0]
+    # mean run length of consecutive same-destination cells ~ mean_burst
+    runs, cur = [], 0
+    prev = TrafficSource.NO_CELL
+    for d in m.tolist():
+        if d >= 0 and (cur == 0 or d == prev):
+            cur += 1
+        else:
+            if cur:
+                runs.append(cur)
+            cur = 1 if d >= 0 else 0
+        prev = d
+    if cur:
+        runs.append(cur)
+    assert np.mean(runs) == pytest.approx(10.0, abs=1.0)
+    # the on/off state carries across calls, so a burst can straddle them
+    src2 = BurstyOnOff(2, 4, 1.0, 5.0, seed=8)  # always on
+    m1 = src2.arrivals_matrix(50)
+    m2 = src2.arrivals_matrix(50)
+    assert (m1 >= 0).all() and (m2 >= 0).all()
+
+
+def test_run_fast_matches_run_statistically():
+    def stats_for(fast):
+        sw = SharedBuffer(8, 8, capacity=128)
+        sw.stats.warmup = 2000
+        src = BernoulliUniform(8, 8, 0.8, seed=9)
+        if fast:
+            sw.run_fast(src, 20_000)
+        else:
+            sw.run(src, 20_000)
+        return sw.stats
+
+    slow, fast = stats_for(False), stats_for(True)
+    assert fast.horizon == slow.horizon == 20_000
+    assert fast.throughput == pytest.approx(slow.throughput, abs=0.02)
+    assert fast.mean_delay == pytest.approx(slow.mean_delay, rel=0.1)
+
+
+def test_run_matrix_validates_shape():
+    sw = SharedBuffer(4, 4, capacity=16)
+    with pytest.raises(ValueError):
+        sw.run_matrix(np.zeros((10, 3), dtype=np.int64))
+    with pytest.raises(ValueError):
+        sw.run_matrix(np.zeros(10, dtype=np.int64))
