@@ -18,6 +18,10 @@ Print a Telegraphos silicon report or the [HlKa88] buffer sizing::
 
     python -m repro vlsi --chip 3
     python -m repro sizing -n 16 --load 0.8 --target 1e-3
+
+Export a Perfetto-loadable trace of the bank pipeline (figure 5, live)::
+
+    python -m repro trace fast --cycles 2000 --out trace.json
 """
 
 from __future__ import annotations
@@ -26,6 +30,48 @@ import argparse
 import sys
 
 from repro.switches.harness import format_table
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("telemetry")
+    g.add_argument("--metrics", metavar="FILE", default=None,
+                   help="write Prometheus-style text metrics to FILE")
+    g.add_argument("--events", metavar="FILE", default=None,
+                   help="write the JSONL packet-lifecycle event stream to FILE")
+    g.add_argument("--sample-interval", type=int, default=0, metavar="CYCLES",
+                   help="sample buffer occupancy every CYCLES cycles "
+                        "(0 = no sampling)")
+
+
+def _telemetry_from_args(args):
+    """A collecting bundle iff any telemetry output was requested."""
+    from repro.telemetry import Telemetry
+
+    if args.metrics or args.events or args.sample_interval:
+        return Telemetry.on(sample_interval=args.sample_interval)
+    return None
+
+
+def _export_telemetry(tel, args) -> None:
+    from repro.telemetry.export import write_events_jsonl, write_metrics_text
+
+    if tel is None:
+        return
+    # write every requested file before printing anything: a consumer
+    # closing stdout early (| head) must not cost the later artifacts
+    if args.events:
+        write_events_jsonl(tel.events, args.events)
+    if args.metrics:
+        write_metrics_text(tel.metrics, args.metrics)
+    if args.events:
+        print(f"events: {len(tel.events)} -> {args.events}")
+    if args.metrics:
+        print(f"metrics -> {args.metrics}")
+    if args.sample_interval:
+        series = tel.occupancy_series()
+        print("occupancy: "
+              + ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                          for k, v in series.items()))
 
 
 def _add_simulate(sub: argparse._SubParsersAction) -> None:
@@ -44,6 +90,7 @@ def _add_simulate(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--burst", type=float, default=None,
                    help="mean burst length for bursty on/off traffic")
     p.add_argument("--seed", type=int, default=1)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_simulate)
 
 
@@ -86,6 +133,9 @@ def cmd_simulate(args) -> int:
 
     switch = _make_switch(args)
     switch.stats.warmup = args.slots // 5
+    tel = _telemetry_from_args(args)
+    if tel is not None:
+        switch.attach_telemetry(tel)
     if args.burst:
         source = BurstyOnOff(args.n, args.n, args.load, args.burst, seed=args.seed + 1)
     else:
@@ -94,6 +144,7 @@ def cmd_simulate(args) -> int:
     rows = [[k, v] for k, v in stats.summary().items()]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.arch} {args.n}x{args.n} @ load {args.load}"))
+    _export_telemetry(tel, args)
     return 0
 
 
@@ -113,6 +164,7 @@ def _add_pipelined(sub: argparse._SubParsersAction) -> None:
                    help="wave-level fast kernel (bit-identical statistics, "
                         "no per-word invariant checking)")
     p.add_argument("--seed", type=int, default=1)
+    _add_telemetry_flags(p)
     p.set_defaults(func=cmd_pipelined)
 
 
@@ -132,7 +184,8 @@ def cmd_pipelined(args) -> int:
         n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
         width_bits=cfg.width_bits, seed=args.seed,
     )
-    switch = make_pipelined_switch(cfg, src, fast=args.fast)
+    tel = _telemetry_from_args(args)
+    switch = make_pipelined_switch(cfg, src, fast=args.fast, telemetry=tel)
     switch.warmup = args.cycles // 10
     switch.run(args.cycles)
     if not args.credits:
@@ -152,6 +205,7 @@ def cmd_pipelined(args) -> int:
         title=(f"pipelined memory {cfg.n}x{cfg.n}, {cfg.depth} stages, "
                f"{cfg.packet_words}-word packets, load {args.load}"),
     ))
+    _export_telemetry(tel, args)
     return 0
 
 
@@ -168,6 +222,9 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
                    help="run under cProfile and print the top 20 functions "
                         "by cumulative time (forces a single kernel; "
                         "default checked)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the timings as a JSON artifact in the "
+                        "benchmarks/BENCH_fastpath.json result schema")
     p.set_defaults(func=cmd_bench)
 
 
@@ -213,12 +270,14 @@ def cmd_bench(args) -> int:
     kernels = ["checked", "fast"] if args.kernel == "both" else [args.kernel]
     rows = []
     timings = {}
+    outcomes = {}
     for kernel in kernels:
         switch = build(fast=(kernel == "fast"))
         t0 = time.perf_counter()
         switch.run(args.cycles)
         elapsed = time.perf_counter() - t0
         timings[kernel] = elapsed
+        outcomes[kernel] = (switch.stats.delivered, switch.stats.dropped)
         rows.append([
             kernel, round(elapsed, 3), round(args.cycles / elapsed),
             switch.stats.delivered, switch.stats.dropped,
@@ -230,6 +289,118 @@ def cmd_bench(args) -> int:
     ))
     if len(timings) == 2:
         print(f"speedup: {timings['checked'] / timings['fast']:.1f}x")
+    if args.json:
+        import json
+        import platform
+
+        delivered, dropped = outcomes[kernels[-1]]
+        result = {
+            "experiment": f"bench-e15-n{cfg.n}-seed{args.seed}",
+            "cycles": args.cycles,
+            "checked_seconds": timings.get("checked"),
+            "fast_seconds": timings.get("fast"),
+            "checked_cycles_per_sec": (
+                args.cycles / timings["checked"] if "checked" in timings else None
+            ),
+            "fast_cycles_per_sec": (
+                args.cycles / timings["fast"] if "fast" in timings else None
+            ),
+            "speedup": (
+                timings["checked"] / timings["fast"]
+                if len(timings) == 2 else None
+            ),
+            "delivered": delivered,
+            "dropped": dropped,
+            "identical": (
+                outcomes["checked"] == outcomes["fast"]
+                if len(outcomes) == 2 else None
+            ),
+        }
+        artifact = {
+            "smoke": args.cycles < 30_000,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": [result],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=1)
+            fh.write("\n")
+        print(f"json -> {args.json}")
+    return 0
+
+
+def _add_trace(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="run a pipelined-switch kernel and export a Chrome/Perfetto "
+             "trace of the bank pipeline (open at https://ui.perfetto.dev)",
+    )
+    p.add_argument("kernel", choices=["checked", "fast"],
+                   help="which kernel to trace (the streams are equivalent; "
+                        "'checked' additionally cross-checks the closed-form "
+                        "trace against the word-level WaveTracer)")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="Chrome-trace JSON output path (default %(default)s)")
+    p.add_argument("-n", type=int, default=4)
+    p.add_argument("--load", type=float, default=0.6)
+    p.add_argument("--cycles", type=int, default=200)
+    p.add_argument("--addresses", type=int, default=64)
+    p.add_argument("--width", type=int, default=16, help="word width in bits")
+    p.add_argument("--quanta", type=int, default=1,
+                   help="packet size in buffer-width quanta (§3.5)")
+    p.add_argument("--credits", action="store_true",
+                   help="credit-based (lossless) flow control")
+    p.add_argument("--no-cut-through", action="store_true")
+    p.add_argument("--seed", type=int, default=1)
+    _add_telemetry_flags(p)
+    p.set_defaults(func=cmd_trace)
+
+
+def cmd_trace(args) -> int:
+    from repro.core import (
+        PipelinedSwitchConfig,
+        RenewalPacketSource,
+        make_pipelined_switch,
+    )
+    from repro.sim.packet import reset_packet_ids
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import (
+        chrome_trace_from_events,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    reset_packet_ids()
+    cfg = PipelinedSwitchConfig(
+        n=args.n, addresses=args.addresses, width_bits=args.width,
+        quanta=args.quanta, credit_flow=args.credits,
+        cut_through=not args.no_cut_through,
+    )
+    src = RenewalPacketSource(
+        n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
+        width_bits=cfg.width_bits, seed=args.seed,
+    )
+    tel = _telemetry_from_args(args) or Telemetry.on(
+        sample_interval=args.sample_interval
+    )
+    switch = make_pipelined_switch(
+        cfg, src, fast=(args.kernel == "fast"), telemetry=tel
+    )
+    switch.run(args.cycles)
+    if not args.credits:
+        switch.drain()
+    trace = chrome_trace_from_events(
+        tel.events, depth=cfg.depth, quanta=cfg.quanta, n=cfg.n,
+        horizon=switch.cycle, link_pipeline_stages=cfg.link_pipeline_stages,
+    )
+    validate_chrome_trace(trace)
+    write_chrome_trace(trace, args.out)
+    counts = tel.events.counts_by_kind()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"{args.kernel} kernel, {switch.cycle} cycles: {summary}")
+    print(f"trace: {len(trace['traceEvents'])} events -> {args.out} "
+          f"(open at https://ui.perfetto.dev)")
+    _export_telemetry(tel, args)
     return 0
 
 
@@ -344,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate(sub)
     _add_pipelined(sub)
     _add_bench(sub)
+    _add_trace(sub)
     _add_wormhole(sub)
     _add_vlsi(sub)
     _add_sizing(sub)

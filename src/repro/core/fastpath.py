@@ -37,9 +37,20 @@ from collections import deque
 import numpy as np
 
 from repro.core.arbiter import Priority
+from repro.core.instrumentation import SwitchTelemetryMixin
 from repro.core.sources import PacketSource
 from repro.core.switch import DeadlineMissedError, PipelinedSwitchConfig
 from repro.sim.stats import Counter, Histogram, SwitchStats
+from repro.telemetry import (
+    ARRIVE,
+    CUT_THROUGH,
+    DEPART,
+    DROP_HEAD_OVERRUN,
+    DROP_QUANTUM_OVERRUN,
+    READ_WAVE,
+    STORE_WAVE,
+    Telemetry,
+)
 
 # Column layout of the per-packet record array.
 _ARRIVAL, _WRITE_INIT, _SRC, _DST = range(4)
@@ -50,17 +61,26 @@ class FastPathUnsupportedError(ValueError):
     :class:`~repro.core.switch.PipelinedSwitch` instead."""
 
 
-class FastPipelinedSwitch:
+class FastPipelinedSwitch(SwitchTelemetryMixin):
     """Wave-level kernel: bit-identical statistics, no per-word objects.
 
     Drop-in for :class:`~repro.core.switch.PipelinedSwitch` wherever only
     statistics are consumed: same constructor signature, same ``run`` /
     ``drain`` / ``is_empty`` / ``warmup`` API, same ``stats``, wave counters
     and latency collectors.  It does not expose banks, buses, latches,
-    sinks or the tracer — there are no words to trace.
+    sinks or the tracer — there are no words to trace.  It *does* produce
+    the full :mod:`repro.telemetry` event stream: every lifecycle event a
+    packet would generate word by word is computed in closed form from its
+    wave's admission cycle, and the equivalence tests pin the resulting
+    stream to the checked model's event for event.
     """
 
-    def __init__(self, config: PipelinedSwitchConfig, source: PacketSource) -> None:
+    def __init__(
+        self,
+        config: PipelinedSwitchConfig,
+        source: PacketSource,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if source.n_out != config.n:
             raise ValueError(
                 f"source targets {source.n_out} outputs, switch has {config.n}"
@@ -138,6 +158,11 @@ class FastPipelinedSwitch:
         self.overrun_drops = 0
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
+        self.attach_telemetry(telemetry)
+
+    def _telemetry_state(self) -> tuple[int, int, list[int]]:
+        return (self.config.addresses - self._free, self._free,
+                list(self._credits))
 
     # -- public API -------------------------------------------------------------
     @property
@@ -210,6 +235,13 @@ class FastPipelinedSwitch:
         while free_due and free_due[0] <= t:
             free_due.popleft()
             self._free += self._quanta
+        # Start-of-cycle sampling instant: downstream credits and buffer
+        # releases due by now are visible, this cycle's waves/arrivals are
+        # not — exactly the state the checked model samples at.
+        if self._tel:
+            iv = self.telemetry.sample_interval
+            if iv and t % iv == 0:
+                self._sample_telemetry(t)
         # Tail words reaching the output links this cycle (phase 1): all the
         # per-word delivery/latency accounting collapses to one completion
         # event at t0 + quanta*B + wire_delay.
@@ -228,6 +260,14 @@ class FastPipelinedSwitch:
                 if uid in self._unobstructed:
                     self.stagger_extra.add(ct - 2)
             self._unobstructed.discard(uid)
+            if self._tel:
+                dst = int(rec[_DST])
+                self.telemetry.events.emit(
+                    tail, DEPART, uid, src=int(rec[_SRC]), dst=dst, aux=head
+                )
+                self._m_departures[dst].inc()
+                if arrival >= self.stats.warmup:
+                    self._m_latency.observe(head - arrival)
         # Phase 2: wave arbitration (a reserved chain slot owns the cycle).
         if t in self._chain:
             self._chain.discard(t)
@@ -346,6 +386,8 @@ class FastPipelinedSwitch:
             self._start_write(t, best, ct_out=-1)
             return
         self.idle_cycles += 1
+        if self._tel:
+            self._m_idle.inc()
 
     # -- wave initiations --------------------------------------------------------
     def _reserve_chain(self, t: int) -> None:
@@ -372,6 +414,8 @@ class FastPipelinedSwitch:
         self._reserve_chain(t)
         self._start_departure_chain(t, j, uid, src)
         self.plain_read_waves += 1
+        if self._tel:
+            self._emit_wave(t, READ_WAVE, uid, src, j)
 
     def _start_write(self, t: int, i: int, ct_out: int) -> None:
         uid = self._pend_uid[i]
@@ -379,6 +423,8 @@ class FastPipelinedSwitch:
         dst = self._pend_dst[i]
         if arrival + self._b <= t:
             self.deadline_overrides += 1
+            if self._tel:
+                self._m_deadline.inc()
         self._free -= self._quanta
         self._rec[uid & self._mask][_WRITE_INIT] = t
         self._pend_uid[i] = -1
@@ -387,9 +433,13 @@ class FastPipelinedSwitch:
         if ct_out >= 0:  # WRITE_CT: store and depart in the same chain
             self._start_departure_chain(t, ct_out, uid, i)
             self.cut_through_waves += 1
+            if self._tel:
+                self._emit_wave(t, CUT_THROUGH, uid, i, ct_out)
         else:
             self._queues[dst].append((uid, arrival, t, i))
             self.write_waves += 1
+            if self._tel:
+                self._emit_wave(t, STORE_WAVE, uid, i, dst)
             busy = t + self._w  # control occupied through the chain's last stage
             if busy > self._busy_until:
                 self._busy_until = busy
@@ -419,7 +469,7 @@ class FastPipelinedSwitch:
             if k > 0 and k % b == 0 and pend_uid[i] >= 0:
                 # The packet's next quantum reuses input latch 0 while its
                 # store chain never started: the packet is lost.
-                self._drop_pending(i)
+                self._drop_pending(t, i, DROP_QUANTUM_OVERRUN)
             k += 1
             if k == w:
                 in_uid[i] = -1
@@ -434,7 +484,7 @@ class FastPipelinedSwitch:
                     f"input {i}: packet {self._pend_uid[i]} overrun at cycle "
                     f"{t} despite credit flow control"
                 )
-            self._drop_pending(i)
+            self._drop_pending(t, i, DROP_HEAD_OVERRUN)
         uid = self._next_uid
         self._next_uid = uid + 1
         rec = self._rec[uid & self._mask]
@@ -448,6 +498,9 @@ class FastPipelinedSwitch:
         self._pend_dst[i] = dst
         self._pend_arr[i] = t
         self.stats.record_offer(t)
+        if self._tel:
+            self.telemetry.events.emit(t, ARRIVE, uid, src=i, dst=dst)
+            self._m_arrivals[i].inc()
         if (
             t >= self.stats.warmup
             and self.next_wave_ok[dst] <= t + 1
@@ -463,23 +516,31 @@ class FastPipelinedSwitch:
         if self.config.credit_flow:
             self._credits[i] -= 1
 
-    def _drop_pending(self, i: int) -> None:
+    def _drop_pending(self, t: int, i: int, cause: str) -> None:
+        uid = self._pend_uid[i]
         self.stats.record_drop(self._pend_arr[i])
         self.overrun_drops += 1
-        self._unobstructed.discard(self._pend_uid[i])
+        self._unobstructed.discard(uid)
+        if self._tel:
+            self._emit_drop(t, i, uid, self._pend_dst[i], cause)
         self._pend_uid[i] = -1
 
 
 def make_pipelined_switch(
-    config: PipelinedSwitchConfig, source: PacketSource, fast: bool = False
+    config: PipelinedSwitchConfig,
+    source: PacketSource,
+    fast: bool = False,
+    telemetry: Telemetry | None = None,
 ):
     """Build the checked model or, with ``fast=True``, the wave-level kernel.
 
     The two produce bit-identical statistics on the same seed; the fast
     kernel skips every structural-invariant check (see module docstring).
+    Pass a :class:`~repro.telemetry.Telemetry` bundle to collect metrics
+    and lifecycle events — the streams are equivalent between kernels.
     """
     if fast:
-        return FastPipelinedSwitch(config, source)
+        return FastPipelinedSwitch(config, source, telemetry=telemetry)
     from repro.core.switch import PipelinedSwitch
 
-    return PipelinedSwitch(config, source)
+    return PipelinedSwitch(config, source, telemetry=telemetry)

@@ -1,0 +1,113 @@
+"""Shared telemetry plumbing for the two pipelined-switch kernels.
+
+:class:`SwitchTelemetryMixin` owns everything that must behave *identically*
+in the checked :class:`~repro.core.switch.PipelinedSwitch` and the fast
+:class:`~repro.core.fastpath.FastPipelinedSwitch`: metric-handle resolution,
+wave/drop emission, and the periodic occupancy sample.  Keeping it in one
+place is what makes "checked and fast telemetry are equivalent" a structural
+property rather than two copies drifting apart — the kernels only provide
+:meth:`_telemetry_state`, their view of occupancy/free/credits at the
+sampling instant.
+
+Sampling instant: the *start* of a cycle, before any of the cycle's waves,
+deliveries or arrivals.  The checked model reaches that state through its
+phase machinery, the fast kernel through its due-queues; the equivalence
+tests compare the sampled series element by element.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    CUT_THROUGH,
+    DROP,
+    NULL_TELEMETRY,
+    READ_WAVE,
+    STORE_WAVE,
+    Telemetry,
+)
+
+
+class SwitchTelemetryMixin:
+    """Collection sites shared by both pipelined-memory kernels."""
+
+    telemetry: Telemetry
+    _tel: bool
+
+    def attach_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Point this switch's collection sites at ``telemetry``.
+
+        Must be called before ``run``; a disabled bundle (the default)
+        reduces every site to one cached boolean test.  Handles for the
+        metric families are resolved once here so the per-cycle path never
+        touches the registry.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry.enabled
+        if not self._tel:
+            return
+        m = self.telemetry.metrics
+        n, b = self.config.n, self.config.depth
+        self._m_arrivals = [m.counter("repro_port_arrivals_total", port=i)
+                            for i in range(n)]
+        self._m_departures = [m.counter("repro_port_departures_total", port=j)
+                              for j in range(n)]
+        self._m_drops = {}
+        self._m_waves = {
+            STORE_WAVE: m.counter("repro_waves_total", op="write"),
+            CUT_THROUGH: m.counter("repro_waves_total", op="write_ct"),
+            READ_WAVE: m.counter("repro_waves_total", op="read"),
+        }
+        self._m_idle = m.counter("repro_idle_cycles_total")
+        self._m_deadline = m.counter("repro_deadline_overrides_total")
+        self._m_bank = [m.counter("repro_bank_accesses_total", bank=f"M{k}")
+                        for k in range(b)]
+        self._m_occupancy = m.gauge("repro_buffer_occupancy")
+        self._m_free = m.gauge("repro_buffer_free_addresses")
+        self._m_latency = m.histogram("repro_ct_latency_cycles")
+        self._m_in_credits = [m.gauge("repro_input_credits", port=i)
+                              for i in range(n)]
+        self._m_out_credits = [m.gauge("repro_downstream_credits", port=j)
+                               for j in range(n)]
+
+    # -- kernel-provided view ------------------------------------------------
+    def _telemetry_state(self) -> tuple[int, int, list[int]]:
+        """(buffer occupancy, free addresses, per-input credit levels) at the
+        start-of-cycle sampling instant."""
+        raise NotImplementedError
+
+    # -- shared emission helpers ----------------------------------------------
+    def _emit_wave(self, t: int, kind: str, uid: int, src: int, dst: int) -> None:
+        """Telemetry consequences shared by every wave admission.
+
+        Bank access counts are attributed here, at admission — each wave
+        chain touches every bank ``quanta`` times, so the closed form is
+        exact and identical between the checked and fast kernels (the
+        word-level truth of when each bank executes is the WaveTracer's
+        job, not the metrics registry's).
+        """
+        self.telemetry.events.emit(t, kind, uid, src=src, dst=dst)
+        self._m_waves[kind].inc()
+        q = self.config.quanta
+        for bank in self._m_bank:
+            bank.inc(q)
+
+    def _emit_drop(self, t: int, i: int, uid: int, dst: int, cause: str) -> None:
+        self.telemetry.events.emit(t, DROP, uid, src=i, dst=dst, cause=cause)
+        key = (i, cause)
+        counter = self._m_drops.get(key)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(
+                "repro_port_drops_total", port=i, cause=cause
+            )
+            self._m_drops[key] = counter
+        counter.inc()
+
+    def _sample_telemetry(self, t: int) -> None:
+        occ, free, in_credits = self._telemetry_state()
+        self.telemetry.sample(t, occ)
+        self._m_occupancy.set(occ)
+        self._m_free.set(free)
+        for gauge, credits in zip(self._m_in_credits, in_credits):
+            gauge.set(credits)
+        for gauge, credits in zip(self._m_out_credits, self._out_credits):
+            gauge.set(credits)

@@ -37,8 +37,19 @@ from repro.core.bus import Bus
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
 from repro.core.latches import InputLatchRow, OutputRegisterRow
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
+from repro.core.instrumentation import SwitchTelemetryMixin
 from repro.sim.packet import Packet, Word
 from repro.sim.stats import Counter, Histogram, SwitchStats
+from repro.telemetry import (
+    ARRIVE,
+    CUT_THROUGH,
+    DEPART,
+    DROP_HEAD_OVERRUN,
+    DROP_QUANTUM_OVERRUN,
+    READ_WAVE,
+    STORE_WAVE,
+    Telemetry,
+)
 
 
 class DeadlineMissedError(Exception):
@@ -135,10 +146,15 @@ class _InputState:
     credits: int = 0
 
 
-class PipelinedSwitch:
+class PipelinedSwitch(SwitchTelemetryMixin):
     """Cycle-accurate pipelined-memory shared-buffer switch (paper §3)."""
 
-    def __init__(self, config: PipelinedSwitchConfig, source: PacketSource) -> None:
+    def __init__(
+        self,
+        config: PipelinedSwitchConfig,
+        source: PacketSource,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if source.n_out != config.n:
             raise ValueError(
                 f"source targets {source.n_out} outputs, switch has {config.n}"
@@ -197,6 +213,11 @@ class PipelinedSwitch:
         # quantity the paper's (p/4)(n-1)/n formula approximates.
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
+        self.attach_telemetry(telemetry)
+
+    def _telemetry_state(self) -> tuple[int, int, list[int]]:
+        return (self.buffer.occupancy, self.buffer.free_count,
+                [s.credits for s in self._inputs])
 
     # -- public API -------------------------------------------------------------
     @property
@@ -268,6 +289,10 @@ class PipelinedSwitch:
                 else:
                     still_pending.append((when, j))
             self._credit_returns = still_pending
+        if self._tel:
+            iv = self.telemetry.sample_interval
+            if iv and t % iv == 0:
+                self._sample_telemetry(t)
         self._deliver_outputs(t)
         self.control.advance()
         self._arbitrate(t)
@@ -326,6 +351,13 @@ class PipelinedSwitch:
             if uid in self._unobstructed:
                 self.stagger_extra.add(packet.cut_through_latency - 2)
         self._unobstructed.discard(uid)
+        if self._tel:
+            self.telemetry.events.emit(
+                t, DEPART, uid, src=packet.src, dst=link, aux=head_cycle
+            )
+            self._m_departures[link].inc()
+            if packet.arrival_cycle >= self.stats.warmup:
+                self._m_latency.observe(packet.cut_through_latency)
 
     # -- phase 2: wave arbitration --------------------------------------------------
     def _arbitrate(self, t: int) -> None:
@@ -406,6 +438,8 @@ class PipelinedSwitch:
     def _apply_decision(self, t: int, decision: Decision) -> None:
         if decision.kind == "idle":
             self.idle_cycles += 1
+            if self._tel:
+                self._m_idle.inc()
             return
         chain_len = self.config.packet_words
         if decision.kind == "read":
@@ -419,12 +453,16 @@ class PipelinedSwitch:
             self.next_wave_ok[j] = t + chain_len
             self._consume_downstream_credit(t, j)
             self.plain_read_waves += 1
+            if self._tel:
+                self._emit_wave(t, READ_WAVE, rec.uid, rec.src, j)
             return
 
         w = decision.write
         assert w is not None
         if w.deadline(self.config.depth) <= t:
             self.deadline_overrides += 1
+            if self._tel:
+                self._m_deadline.inc()
         rec = self.buffer.allocate(
             w.uid, w.in_link, w.dst, w.arrival_cycle, t, quanta=self.config.quanta
         )
@@ -446,6 +484,8 @@ class PipelinedSwitch:
             self.next_wave_ok[j] = t + chain_len
             self._consume_downstream_credit(t, j)
             self.cut_through_waves += 1
+            if self._tel:
+                self._emit_wave(t, CUT_THROUGH, rec.uid, w.in_link, j)
         else:
             first = ControlWord(
                 WaveOp.WRITE, rec.addrs[0], in_link=w.in_link, packet_uid=rec.uid
@@ -453,6 +493,8 @@ class PipelinedSwitch:
             self.control.initiate(first)
             self._reserve_chain(t, first, rec.addrs)
             self.write_waves += 1
+            if self._tel:
+                self._emit_wave(t, STORE_WAVE, rec.uid, w.in_link, w.dst)
 
     def _consume_downstream_credit(self, t: int, j: int) -> None:
         """Spend one downstream credit for output ``j``; schedule its return
@@ -516,7 +558,7 @@ class PipelinedSwitch:
                 # The packet's own next quantum is about to reuse latch 0
                 # while its store chain never started (buffer stayed full
                 # for the whole first-quantum window): the packet is lost.
-                self._drop_packet(t, i, state.pending)
+                self._drop_packet(t, i, state.pending, DROP_QUANTUM_OVERRUN)
                 state.discard_current = True
             self.in_latches[i].load(
                 k % depth, Word(packet.uid, k, packet.payload[k])
@@ -540,7 +582,7 @@ class PipelinedSwitch:
                     f"input {i}: packet {state.pending.uid} overrun at cycle "
                     f"{t} despite credit flow control"
                 )
-            self._drop_packet(t, i, state.pending)
+            self._drop_packet(t, i, state.pending, DROP_HEAD_OVERRUN)
         packet = Packet(src=i, dst=dst, payload=(), arrival_cycle=t)
         packet.payload = deterministic_payload(packet.uid, self.config.packet_words,
                                                self.config.width_bits)
@@ -550,6 +592,9 @@ class PipelinedSwitch:
         state.pending = WriteRequest(in_link=i, dst=dst, uid=packet.uid, arrival_cycle=t)
         self._sent[packet.uid] = packet
         self.stats.record_offer(t)
+        if self._tel:
+            self.telemetry.events.emit(t, ARRIVE, packet.uid, src=i, dst=dst)
+            self._m_arrivals[i].inc()
         if (
             t >= self.stats.warmup
             and self.next_wave_ok[dst] <= t + 1
@@ -570,11 +615,13 @@ class PipelinedSwitch:
         if self.config.credit_flow:
             state.credits -= 1
 
-    def _drop_packet(self, t: int, i: int, w: WriteRequest) -> None:
+    def _drop_packet(self, t: int, i: int, w: WriteRequest, cause: str) -> None:
         state = self._inputs[i]
         state.pending = None
         self.stats.record_drop(w.arrival_cycle)
         self.overrun_drops += 1
+        if self._tel:
+            self._emit_drop(t, i, w.uid, w.dst, cause)
         self._sent.pop(w.uid, None)
         row = self.in_latches[i]
         arrived = min(t - w.arrival_cycle, self.config.packet_words)

@@ -9,6 +9,7 @@ definitions, identical throughput accounting.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 
@@ -41,7 +42,9 @@ class Counter:
         """Sample variance (n-1 denominator)."""
         if self.count < 2:
             return math.nan
-        return self._m2 / (self.count - 1)
+        # Catastrophic cancellation in add()/merge() can leave _m2 a tiny
+        # negative number; a negative variance would make stdev raise.
+        return max(self._m2, 0.0) / (self.count - 1)
 
     @property
     def stdev(self) -> float:
@@ -56,7 +59,13 @@ class Counter:
         return self.stdev / math.sqrt(self.count)
 
     def merge(self, other: "Counter") -> None:
-        """Fold another counter into this one (parallel Welford merge)."""
+        """Fold another counter into this one (parallel Welford merge).
+
+        Well-defined for every edge case: merging an empty counter is a
+        no-op, merging *into* an empty counter copies the other side
+        verbatim (including min/max), and single-sample counters
+        (``count == 1``, where variance is still NaN) combine exactly.
+        """
         if other.count == 0:
             return
         if self.count == 0:
@@ -110,6 +119,114 @@ class Histogram:
         if not self.total:
             return math.nan
         return sum(k * v for k, v in self.counts.items()) / self.total
+
+    def percentile(self, p: float) -> int:
+        """Smallest value v with at least ``p`` percent of mass at or below."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
+
+# Bucket edges shared by the telemetry latency histograms: a packet's
+# minimum cut-through latency is 2 cycles, and queueing delays grow
+# geometrically under load, so powers of two up to 64k cycles cover every
+# workload in the benchmark suite with ~16 buckets.
+LATENCY_BUCKET_EDGES: tuple[float, ...] = tuple(float(2 ** k) for k in range(1, 17))
+
+
+@dataclass(slots=True)
+class BucketHistogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``edges`` are inclusive upper bounds of the finite buckets (Prometheus
+    ``le`` semantics); one implicit overflow bucket catches everything
+    larger.  Identical edges across collectors make histograms mergeable
+    and let exporters render cumulative bucket counts directly.
+    """
+
+    edges: tuple[float, ...] = LATENCY_BUCKET_EDGES
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def __post_init__(self) -> None:
+        edges = tuple(float(e) for e in self.edges)
+        if not edges:
+            raise ValueError("need at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must be strictly increasing: {edges}")
+        self.edges = edges
+        if not self.counts:
+            self.counts = [0] * (len(edges) + 1)  # + overflow bucket
+        elif len(self.counts) != len(edges) + 1:
+            raise ValueError(
+                f"{len(edges)} edges need {len(edges) + 1} buckets, "
+                f"got {len(self.counts)}"
+            )
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.counts[bisect_left(self.edges, value)] += weight
+        self.total += weight
+        self.sum += value * weight
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else math.nan
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` rows, ending at +inf."""
+        rows: list[tuple[float, int]] = []
+        run = 0
+        for edge, c in zip(self.edges, self.counts):
+            run += c
+            rows.append((edge, run))
+        rows.append((math.inf, run + self.counts[-1]))
+        return rows
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile by interpolating in its bucket.
+
+        The end buckets interpolate against the observed min/max, so exact
+        values come back for mass concentrated at the extremes.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.total:
+            raise ValueError("empty histogram")
+        need = p / 100.0 * self.total
+        run = 0
+        for b, c in enumerate(self.counts):
+            if run + c >= need and c > 0:
+                lo = self.minimum if b == 0 else self.edges[b - 1]
+                hi = self.maximum if b == len(self.edges) else self.edges[b]
+                lo = max(lo, self.minimum)
+                hi = min(hi, self.maximum)
+                if hi <= lo:
+                    return lo
+                frac = (need - run) / c
+                return lo + frac * (hi - lo)
+            run += c
+        return self.maximum
+
+    def merge(self, other: "BucketHistogram") -> None:
+        """Fold another histogram with identical edges into this one."""
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{other.edges} vs {self.edges}"
+            )
+        for b, c in enumerate(other.counts):
+            self.counts[b] += c
+        self.total += other.total
+        self.sum += other.sum
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
 
 
 @dataclass(slots=True)

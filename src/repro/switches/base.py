@@ -23,13 +23,27 @@ import numpy as np
 
 from repro.sim.packet import Cell
 from repro.sim.stats import SwitchStats
+from repro.telemetry import (
+    ARRIVE,
+    DEPART,
+    DROP,
+    DROP_BUFFER_FULL,
+    NULL_TELEMETRY,
+    Telemetry,
+)
 from repro.traffic.base import TrafficSource
 
 
 class SlottedSwitch(ABC):
     """Base class for all slot-level switch architectures."""
 
-    def __init__(self, n_in: int, n_out: int, warmup: int = 0) -> None:
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        warmup: int = 0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if n_in < 1 or n_out < 1:
             raise ValueError(f"need at least 1 input and 1 output, got {n_in}x{n_out}")
         self.n_in = n_in
@@ -38,6 +52,31 @@ class SlottedSwitch(ABC):
         self.stats = SwitchStats(n_outputs=n_out, warmup=warmup)
         self._occupancy_samples: list[int] = []
         self.sample_occupancy = False
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Point the slot-level collection sites at ``telemetry``.
+
+        Slotted models have no banks, waves or credits, so only the
+        port-level families and the occupancy channel are populated; the
+        metric names are shared with the pipelined kernels so sweeps can be
+        compared side by side in one dashboard.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = self.telemetry.enabled
+        if not self._tel:
+            return
+        m = self.telemetry.metrics
+        self._m_arrivals = [m.counter("repro_port_arrivals_total", port=i)
+                            for i in range(self.n_in)]
+        self._m_departures = [m.counter("repro_port_departures_total", port=j)
+                              for j in range(self.n_out)]
+        self._m_drops = [
+            m.counter("repro_port_drops_total", port=i, cause=DROP_BUFFER_FULL)
+            for i in range(self.n_in)
+        ]
+        self._m_occupancy = m.gauge("repro_buffer_occupancy")
+        self._m_delay = m.histogram("repro_slot_delay_slots")
 
     # -- architecture-specific hooks ----------------------------------------
     @abstractmethod
@@ -51,6 +90,30 @@ class SlottedSwitch(ABC):
     @abstractmethod
     def occupancy(self) -> int:
         """Total cells currently buffered (all queues)."""
+
+    # -- shared drop accounting ----------------------------------------------
+    def _record_late_drop(self, cell: Cell, cause: str = DROP_BUFFER_FULL) -> None:
+        """Discard a provisionally-admitted cell during departure selection.
+
+        Architectures that resolve contention after :meth:`_admit` (shared
+        buffers, knockout concentrators) call this instead of mutating the
+        stats directly, so the drop shows up in the event log and per-port
+        drop counters exactly like an admission-time drop.
+        """
+        if cell.arrival_slot >= self.stats.warmup:
+            self.stats.accepted -= 1
+            self.stats.dropped += 1
+        if self._tel:
+            self.telemetry.events.emit(
+                self.slot, DROP, cell.uid, src=cell.src, dst=cell.dst,
+                cause=cause,
+            )
+            if cause == DROP_BUFFER_FULL:
+                self._m_drops[cell.src].inc()
+            else:
+                self.telemetry.metrics.counter(
+                    "repro_port_drops_total", port=cell.src, cause=cause
+                ).inc()
 
     # -- driver ---------------------------------------------------------------
     def step(
@@ -77,10 +140,21 @@ class SlottedSwitch(ABC):
                 tag=tags[src] if tags is not None else None,
             )
             self.stats.record_offer(self.slot)
+            if self._tel:
+                self.telemetry.events.emit(
+                    self.slot, ARRIVE, cell.uid, src=src, dst=dst
+                )
+                self._m_arrivals[src].inc()
             if self._admit(cell):
                 self.stats.record_accept(self.slot)
             else:
                 self.stats.record_drop(self.slot)
+                if self._tel:
+                    self.telemetry.events.emit(
+                        self.slot, DROP, cell.uid, src=src, dst=dst,
+                        cause=DROP_BUFFER_FULL,
+                    )
+                    self._m_drops[src].inc()
 
         departures = self._select_departures()
         if len(departures) != self.n_out:
@@ -97,9 +171,23 @@ class SlottedSwitch(ABC):
                 )
             cell.depart_slot = self.slot
             self.stats.record_departure(cell.dst, cell.arrival_slot, self.slot)
+            if self._tel:
+                self.telemetry.events.emit(
+                    self.slot, DEPART, cell.uid, src=cell.src, dst=j,
+                    aux=self.slot,
+                )
+                self._m_departures[j].inc()
+                if cell.arrival_slot >= self.stats.warmup:
+                    self._m_delay.observe(self.slot - cell.arrival_slot)
 
         if self.sample_occupancy and self.slot >= self.stats.warmup:
             self._occupancy_samples.append(self.occupancy())
+        if self._tel:
+            iv = self.telemetry.sample_interval
+            if iv and self.slot % iv == 0:
+                occ = self.occupancy()
+                self.telemetry.sample(self.slot, occ)
+                self._m_occupancy.set(occ)
 
         self.slot += 1
         self.stats.horizon = self.slot

@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.sim.stats import SwitchStats
 from repro.switches.base import SlottedSwitch
+from repro.telemetry import Telemetry
 from repro.traffic.base import TrafficSource
 from repro.traffic.bernoulli import BernoulliUniform
 
@@ -20,14 +21,21 @@ SourceFactory = Callable[[float, int], TrafficSource]  # (load, seed) -> source
 
 
 def run_switch(
-    switch: SlottedSwitch, source: TrafficSource, slots: int, fast: bool = False
+    switch: SlottedSwitch,
+    source: TrafficSource,
+    slots: int,
+    fast: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> SwitchStats:
     """Drive ``switch`` with ``source`` for ``slots`` slots; return stats.
 
     ``fast=True`` batches the traffic generation through
     :meth:`~repro.traffic.base.TrafficSource.arrivals_matrix` — same
     statistics, different (still seed-deterministic) sample path.
+    ``telemetry`` attaches a collection bundle to the switch for the run.
     """
+    if telemetry is not None:
+        switch.attach_telemetry(telemetry)
     if fast:
         return switch.run_fast(source, slots)
     return switch.run(source, slots)

@@ -106,9 +106,7 @@ class InterleavedSharedBuffer(SlottedSwitch):
                 cell = self._pending[int(k)]
                 bank = self._find_bank(busy)
                 if bank is None:
-                    if cell.arrival_slot >= self.stats.warmup:
-                        self.stats.accepted -= 1
-                        self.stats.dropped += 1
+                    self._record_late_drop(cell)
                     continue
                 busy.add(bank)
                 self.bank_occ[bank] += 1

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.sim.packet import Cell
 from repro.switches.output_queued import OutputQueued
+from repro.telemetry import DROP_KNOCKOUT
 
 
 class KnockoutSwitch(OutputQueued):
@@ -53,9 +54,7 @@ class KnockoutSwitch(OutputQueued):
                         survivors.append(cell)
                     else:
                         self.knockout_drops += 1
-                        if cell.arrival_slot >= self.stats.warmup:
-                            self.stats.accepted -= 1
-                            self.stats.dropped += 1
+                        self._record_late_drop(cell, cause=DROP_KNOCKOUT)
             else:
                 survivors.extend(cells)
         self._pending = survivors

@@ -57,10 +57,7 @@ class OutputQueued(SlottedSwitch):
                 cell = self._pending[int(k)]
                 q = self.queues[cell.dst]
                 if self.capacity is not None and len(q) >= self.capacity:
-                    # Undo the provisional accept in the stats.
-                    if cell.arrival_slot >= self.stats.warmup:
-                        self.stats.accepted -= 1
-                        self.stats.dropped += 1
+                    self._record_late_drop(cell)
                 else:
                     q.append(cell)
             self._pending = []

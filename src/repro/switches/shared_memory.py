@@ -60,9 +60,7 @@ class SharedBuffer(SlottedSwitch):
             for k in order:
                 cell = self._pending[int(k)]
                 if self.capacity is not None and self._total >= self.capacity:
-                    if cell.arrival_slot >= self.stats.warmup:
-                        self.stats.accepted -= 1
-                        self.stats.dropped += 1
+                    self._record_late_drop(cell)
                 else:
                     self.queues[cell.dst].append(cell)
                     self._total += 1

@@ -1,0 +1,219 @@
+"""Named metrics registry: counters, gauges, bucketed histograms.
+
+Every switch kernel publishes the same metric families through a
+:class:`MetricsRegistry` — per-port arrival/departure/drop counters,
+per-bank access counters, arbitration-outcome counters per
+:class:`~repro.core.control.WaveOp`, buffer-occupancy and credit-level
+gauges, and fixed-bucket latency histograms (edges shared via
+:data:`repro.sim.stats.LATENCY_BUCKET_EDGES` so histograms from different
+runs merge).
+
+Disabled collection must cost nothing on the hot path, so there are two
+implementations behind one interface: the real registry, and
+:class:`NullMetricsRegistry`, whose metric handles are shared do-nothing
+singletons.  Kernels additionally cache a single ``enabled`` boolean and
+skip the call sites entirely — the null objects only exist so that code
+holding a handle never needs a None check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.stats import LATENCY_BUCKET_EDGES, BucketHistogram
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def full_name(name: str, labels: LabelItems) -> str:
+    """Prometheus-style rendering: ``name{k="v",...}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass(slots=True)
+class CounterMetric:
+    """Monotonically increasing count."""
+
+    name: str
+    labels: LabelItems = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass(slots=True)
+class GaugeMetric:
+    """Last-written value, with the min/max ever written alongside."""
+
+    name: str
+    labels: LabelItems = ()
+    value: float = math.nan
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+@dataclass(slots=True)
+class HistogramMetric:
+    """Fixed-bucket histogram (see :class:`~repro.sim.stats.BucketHistogram`)."""
+
+    name: str
+    labels: LabelItems = ()
+    hist: BucketHistogram = field(
+        default_factory=lambda: BucketHistogram(LATENCY_BUCKET_EDGES)
+    )
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        self.hist.add(value, weight)
+
+    def percentile(self, p: float) -> float:
+        return self.hist.percentile(p)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metrics.
+
+    ``registry.counter("repro_port_drops_total", port=3, cause="head_overrun")``
+    returns the same handle on every call with the same name and labels, so
+    hot paths fetch handles once at attach time and bump plain attributes
+    afterwards.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], object] = {}
+
+    def _get(self, name: str, labels: dict[str, object], factory):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1])
+            self._metrics[key] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {full_name(name, key[1])} already registered "
+                f"as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> CounterMetric:
+        return self._get(name, labels, CounterMetric)
+
+    def gauge(self, name: str, **labels: object) -> GaugeMetric:
+        return self._get(name, labels, GaugeMetric)
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = LATENCY_BUCKET_EDGES,
+        **labels: object,
+    ) -> HistogramMetric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = HistogramMetric(name, key[1], BucketHistogram(edges))
+            self._metrics[key] = metric
+        elif not isinstance(metric, HistogramMetric):
+            raise TypeError(
+                f"metric {full_name(name, key[1])} already registered "
+                f"as {type(metric).__name__}"
+            )
+        elif metric.hist.edges != tuple(float(e) for e in edges):
+            raise ValueError(f"histogram {name} re-registered with different edges")
+        return metric
+
+    def __iter__(self):
+        """Metrics in deterministic (name, labels) order."""
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat snapshot used by tests and the JSON exporters.
+
+        Counters/gauges map to their value; histograms to a dict with
+        total/sum/min/max and cumulative bucket counts.
+        """
+        out: dict[str, object] = {}
+        for m in self:
+            key = full_name(m.name, m.labels)
+            if isinstance(m, HistogramMetric):
+                out[key] = {
+                    "total": m.hist.total,
+                    "sum": m.hist.sum,
+                    "min": m.hist.minimum,
+                    "max": m.hist.maximum,
+                    "buckets": [[le, c] for le, c in m.hist.cumulative()],
+                }
+            else:
+                out[key] = m.value
+        return out
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """No-op stand-in: hands out shared do-nothing metric handles."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, edges=LATENCY_BUCKET_EDGES, **labels: object):
+        return _NULL_HISTOGRAM
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()

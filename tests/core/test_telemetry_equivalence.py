@@ -1,0 +1,170 @@
+"""Checked-vs-fast telemetry equivalence, and trace-vs-tracer agreement.
+
+The fast kernel derives every lifecycle event in closed form from wave
+admission cycles; the checked kernel emits them as the words actually move.
+These tests pin the two streams to each other *event for event* on the
+benchmark suite's E15/E13 workload shapes — a much finer equivalence than
+the end-of-run statistics `test_fastpath.py` already enforces.  Intra-cycle
+emission order is not part of the contract, so streams are compared in
+canonical sorted order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FastPipelinedSwitch,
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+    RenewalPacketSource,
+    SaturatingSource,
+)
+from repro.core.tracing import WaveTracer
+from repro.sim.packet import reset_packet_ids
+from repro.telemetry import Telemetry
+from repro.telemetry.export import (
+    chrome_trace_from_events,
+    chrome_trace_from_tracer,
+    validate_chrome_trace,
+)
+
+# The benchmark suite's experiment shapes (benchmarks/record.py): E15 is the
+# paper's drop-tail shared buffer, E13 adds credit flow control.
+MATRIX = [
+    pytest.param(dict(n=8, addresses=128), "renewal", 0.6, 1, True,
+                 id="e15-8x8-drop-tail"),
+    pytest.param(dict(n=8, addresses=64, credit_flow=True), "saturating",
+                 1.0, 2, False, id="e15-8x8-credits-saturating"),
+    pytest.param(dict(n=4, addresses=8), "saturating", 1.0, 3, True,
+                 id="e15-4x4-droppy"),
+    pytest.param(dict(n=8, addresses=256, credit_flow=True), "renewal",
+                 1.0, 2, False, id="e13-8x8-credits-load1.0"),
+    pytest.param(dict(n=8, addresses=256, credit_flow=True), "renewal",
+                 0.8, 3, False, id="e13-8x8-credits-load0.8"),
+    pytest.param(dict(n=4, addresses=32, quanta=2), "renewal", 0.6, 1, True,
+                 id="multi-quantum"),
+    pytest.param(dict(n=4, addresses=64, link_pipeline_stages=2), "renewal",
+                 0.6, 1, True, id="wire-pipelined"),
+]
+
+
+def _run(fast: bool, cfg_kwargs: dict, source: str, load: float, seed: int,
+         drain: bool, cycles: int = 1500):
+    # Both kernels must number packets identically for the streams to be
+    # comparable; the checked model draws uids from the global counter.
+    reset_packet_ids()
+    cfg = PipelinedSwitchConfig(**cfg_kwargs)
+    if source == "saturating":
+        src = SaturatingSource(n_out=cfg.n, packet_words=cfg.packet_words,
+                               seed=seed)
+    else:
+        src = RenewalPacketSource(n_out=cfg.n, packet_words=cfg.packet_words,
+                                  load=load, width_bits=cfg.width_bits,
+                                  seed=seed)
+    tel = Telemetry.on(sample_interval=32)
+    cls = FastPipelinedSwitch if fast else PipelinedSwitch
+    sw = cls(cfg, src, telemetry=tel)
+    sw.run(cycles)
+    if drain:
+        sw.drain()
+    return sw, tel
+
+
+class TestCheckedVsFastTelemetry:
+    @pytest.mark.parametrize("cfg_kwargs,source,load,seed,drain", MATRIX)
+    def test_event_streams_identical(self, cfg_kwargs, source, load, seed,
+                                     drain):
+        _, tel_slow = _run(False, cfg_kwargs, source, load, seed, drain)
+        _, tel_fast = _run(True, cfg_kwargs, source, load, seed, drain)
+        assert tel_slow.events.sorted_events() == tel_fast.events.sorted_events()
+
+    @pytest.mark.parametrize("cfg_kwargs,source,load,seed,drain", MATRIX)
+    def test_aggregations_and_metrics_identical(self, cfg_kwargs, source,
+                                                load, seed, drain):
+        _, tel_slow = _run(False, cfg_kwargs, source, load, seed, drain)
+        _, tel_fast = _run(True, cfg_kwargs, source, load, seed, drain)
+        assert tel_slow.events.per_port_counts() == tel_fast.events.per_port_counts()
+        assert tel_slow.events.drop_taxonomy() == tel_fast.events.drop_taxonomy()
+        assert tel_slow.samples == tel_fast.samples
+        assert tel_slow.metrics.as_dict() == tel_fast.metrics.as_dict()
+
+    def test_droppy_run_actually_drops(self):
+        """Guard: the droppy matrix row exercises the drop taxonomy."""
+        _, tel = _run(True, dict(n=4, addresses=8), "saturating", 1.0, 3, True)
+        assert sum(tel.events.drop_taxonomy().values()) > 0
+
+    def test_event_counts_match_stats(self):
+        sw, tel = _run(True, dict(n=8, addresses=128), "renewal", 0.6, 1, True)
+        counts = tel.events.counts_by_kind()
+        assert counts.get("arrive", 0) == sw.stats.offered
+        assert counts.get("depart", 0) == sw.stats.delivered
+        assert counts.get("drop", 0) == sw.stats.dropped
+        assert counts.get("cut_through", 0) == sw.cut_through_waves
+        assert counts.get("read_wave", 0) == sw.plain_read_waves
+        assert counts.get("store_wave", 0) == sw.write_waves
+
+    def test_telemetry_off_by_default_and_state_unchanged(self):
+        """A telemetry-carrying run is the *same simulation*: identical
+        statistics to a bare run, and the default bundle collects nothing."""
+        reset_packet_ids()
+        cfg = PipelinedSwitchConfig(n=4, addresses=32)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words,
+                                  load=0.6, seed=1)
+        bare = PipelinedSwitch(cfg, src)
+        bare.run(1000)
+        assert not bare.telemetry.enabled
+        assert len(bare.telemetry.events) == 0
+        sw, tel = _run(False, dict(n=4, addresses=32), "renewal", 0.6, 1,
+                       False, cycles=1000)
+        assert sw.stats == bare.stats
+
+
+class TestTraceVsTracer:
+    def test_closed_form_bank_slices_match_word_level_truth(self):
+        """chrome_trace_from_events (figure-5 arithmetic) must paint exactly
+        the bank occupancy the checked model's WaveTracer recorded."""
+        reset_packet_ids()
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words,
+                                  load=0.6, seed=1)
+        tel = Telemetry.on()
+        tracer = WaveTracer(PipelinedSwitch(cfg, src, telemetry=tel))
+        tracer.run(400)
+        horizon = tracer.switch.cycle
+
+        def bank_cells(trace):
+            return {
+                (e["tid"], e["ts"], e["args"]["uid"], e["args"]["kind"])
+                for e in trace["traceEvents"]
+                if e["ph"] == "X" and e.get("cat") == "wave"
+            }
+
+        from_events = chrome_trace_from_events(
+            tel.events, depth=cfg.depth, quanta=cfg.quanta, n=cfg.n,
+            horizon=horizon,
+        )
+        from_tracer = chrome_trace_from_tracer(tracer)
+        validate_chrome_trace(from_events)
+        validate_chrome_trace(from_tracer)
+        assert bank_cells(from_events) == bank_cells(from_tracer)
+
+    def test_trace_shows_staggered_diagonal(self):
+        """Acceptance shape: one track per bank, at most one slice starting
+        per cycle on M0 (validate_chrome_trace raises otherwise)."""
+        reset_packet_ids()
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words,
+                                  load=0.9, seed=2)
+        tel = Telemetry.on()
+        sw = FastPipelinedSwitch(cfg, src, telemetry=tel)
+        sw.run(300)
+        sw.drain()
+        trace = chrome_trace_from_events(
+            tel.events, depth=cfg.depth, quanta=cfg.quanta, n=cfg.n,
+            horizon=sw.cycle,
+        )
+        validate_chrome_trace(trace)
+        bank_tids = {e["tid"] for e in trace["traceEvents"]
+                     if e["ph"] == "X" and e.get("cat") == "wave"}
+        assert bank_tids == set(range(cfg.depth))

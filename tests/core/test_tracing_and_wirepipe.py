@@ -57,6 +57,48 @@ class TestWaveTracer:
         tracer.run(20)
         assert len(tracer.render(max_cycles=5).splitlines()) == 7  # 2 header rows
 
+    def test_events_cut_through_diagonal(self):
+        """The figure-5 staircase, asserted cell by cell: a lone WRITE_CT
+        wave admitted at cycle t0 occupies bank k exactly at t0 + k."""
+        tracer, cfg = _traced_switch({0: [(0, 1)]})
+        tracer.run(cfg.depth * 3)
+        ct = [(c, k) for c, k, op, uid in tracer.events() if op == "CT"]
+        (t0, k0) = min(ct)
+        assert k0 == 0
+        assert sorted(ct) == [(t0 + k, k) for k in range(cfg.depth)]
+        # and every cell belongs to the same packet
+        uids = {uid for _, _, op, uid in tracer.events() if op == "CT"}
+        assert len(uids) == 1
+
+    def test_events_columns_and_kinds(self):
+        tracer, cfg = _traced_switch({0: [(0, 1)], 1: [(1, 1)]})
+        tracer.run(cfg.depth * 6)
+        events = tracer.events()
+        assert events, "trace captured no waves"
+        for cycle, stage, op, uid in events:
+            assert 0 <= stage < cfg.depth
+            assert op in ("WR", "RD", "CT")
+            assert cycle >= 0 and uid >= 0
+        # events() and initiations() agree on stage-0 content
+        inits = tracer.initiations()
+        assert inits == [(c, op, u) for c, k, op, u in events if k == 0]
+
+    def test_render_row_format(self):
+        """One row per traced cycle; each wave cell renders as OP pUID@aADDR
+        in the bank's column; the header names every bank."""
+        tracer, cfg = _traced_switch({0: [(0, 1)]})
+        tracer.run(cfg.depth * 2)
+        lines = tracer.render().splitlines()
+        header, rows = lines[0], lines[2:]
+        for k in range(cfg.depth):
+            assert f"M{k}" in header
+        assert len(rows) == len(tracer.records)
+        # the cut-through admission cycle shows the wave in the M0 column
+        (t0, op, uid) = tracer.initiations()[0]
+        row = next(r for r in rows if r.split()[0] == str(t0))
+        m0_col = row[6:6 + 11]  # "cyc" prefix is 6 wide, each bank 11
+        assert f"CT p{uid}@a" in m0_col
+
 
 class TestWirePipelining:
     """§4.3: splitting the link wires adds constant latency, nothing else."""

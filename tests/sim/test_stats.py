@@ -7,7 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.stats import Counter, Histogram, SwitchStats
+from repro.sim.stats import (
+    LATENCY_BUCKET_EDGES,
+    BucketHistogram,
+    Counter,
+    Histogram,
+    SwitchStats,
+)
 
 
 class TestCounter:
@@ -58,6 +64,40 @@ class TestCounter:
         c.merge(Counter())
         assert c.count == 1 and c.mean == 3.0
 
+    def test_merge_into_empty_copies_other(self):
+        c = Counter()
+        other = Counter()
+        for x in (1.0, 2.0, 6.0):
+            other.add(x)
+        c.merge(other)
+        assert c.count == 3
+        assert c.mean == pytest.approx(3.0)
+        assert c.minimum == 1.0 and c.maximum == 6.0
+
+    def test_merge_two_singletons_gives_variance(self):
+        a, b = Counter(), Counter()
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.variance == pytest.approx(2.0)
+        assert a.stdev == pytest.approx(math.sqrt(2.0))
+
+    def test_stdev_no_sqrt_domain_error_on_cancellation(self):
+        """Identical large-magnitude samples can leave _m2 a tiny negative
+        number through floating-point cancellation; stdev must clamp, not
+        raise."""
+        c = Counter()
+        for _ in range(100):
+            c.add(1e8 + 0.1)
+        assert c.variance >= 0.0
+        assert c.stdev >= 0.0  # must not raise ValueError from math.sqrt
+
+    def test_stderr_single_sample_nan(self):
+        c = Counter()
+        c.add(5.0)
+        assert math.isnan(c.stderr)
+
 
 class TestHistogram:
     def test_pmf_sums_to_one(self):
@@ -89,6 +129,88 @@ class TestHistogram:
         h.add(10, weight=3)
         h.add(0, weight=1)
         assert h.mean == pytest.approx(7.5)
+
+    def test_percentile_is_quantile_in_percent(self):
+        h = Histogram()
+        for v in range(100):
+            h.add(v)
+        assert h.percentile(50) == h.quantile(0.5)
+        assert h.percentile(99) == 98
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestBucketHistogram:
+    def test_edges_validation(self):
+        with pytest.raises(ValueError):
+            BucketHistogram(())
+        with pytest.raises(ValueError):
+            BucketHistogram((4.0, 2.0))
+
+    def test_counts_land_in_le_buckets(self):
+        h = BucketHistogram((2.0, 4.0))
+        for v in (1, 2, 3, 4, 5):  # le-semantics: 2 -> first, 4 -> second
+            h.add(v)
+        assert h.counts == [2, 2, 1]
+        assert h.total == 5
+        assert h.minimum == 1 and h.maximum == 5
+
+    def test_cumulative_ends_at_inf_with_total(self):
+        h = BucketHistogram((2.0, 4.0))
+        for v in (1, 3, 9):
+            h.add(v)
+        rows = h.cumulative()
+        assert rows[-1] == (math.inf, 3)
+        assert [c for _, c in rows] == [1, 2, 3]
+
+    def test_percentile_brackets_true_value(self):
+        h = BucketHistogram(LATENCY_BUCKET_EDGES)
+        values = list(range(1, 1001))
+        for v in values:
+            h.add(v)
+        for p in (10, 50, 90, 99):
+            true = values[int(p / 100 * len(values)) - 1]
+            est = h.percentile(p)
+            # estimate must land inside the true value's bucket
+            lo = max(e for e in (0.0,) + h.edges if e < true)
+            hi = min(e for e in h.edges if e >= true)
+            assert lo <= est <= hi, (p, true, est)
+
+    def test_percentile_exact_at_extremes(self):
+        h = BucketHistogram((10.0, 100.0))
+        for _ in range(5):
+            h.add(7.0)
+        assert h.percentile(0) == pytest.approx(7.0)
+        assert h.percentile(100) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            BucketHistogram((1.0,)).percentile(50)
+
+    def test_merge_requires_identical_edges(self):
+        a = BucketHistogram((2.0, 4.0))
+        b = BucketHistogram((2.0, 8.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_equals_concatenation(self):
+        a = BucketHistogram((2.0, 4.0, 8.0))
+        b = BucketHistogram((2.0, 4.0, 8.0))
+        c = BucketHistogram((2.0, 4.0, 8.0))
+        for v in (1, 3, 9):
+            a.add(v)
+            c.add(v)
+        for v in (2, 16):
+            b.add(v)
+            c.add(v)
+        a.merge(b)
+        assert a.counts == c.counts
+        assert a.total == c.total and a.sum == c.sum
+        assert a.minimum == c.minimum and a.maximum == c.maximum
+
+    def test_mean_and_empty(self):
+        h = BucketHistogram((2.0,))
+        assert math.isnan(h.mean)
+        h.add(4.0, weight=2)
+        assert h.mean == pytest.approx(4.0)
 
 
 class TestSwitchStats:

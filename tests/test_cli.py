@@ -89,3 +89,77 @@ def test_sizing_command(capsys):
     out = capsys.readouterr().out
     assert "shared buffering" in out
     assert "input smoothing" in out
+
+
+@pytest.mark.parametrize("kernel", ["checked", "fast"])
+def test_trace_command_writes_valid_chrome_trace(kernel, tmp_path, capsys):
+    from repro.telemetry.export import validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    rc = main(["trace", kernel, "--cycles", "200", "-n", "4",
+               "--addresses", "32", "--out", str(out)])
+    assert rc == 0
+    import json
+
+    trace = json.loads(out.read_text())
+    validate_chrome_trace(trace)
+    names = {e["args"]["name"] for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {"M0", "in0", "out0"} <= names
+    assert "perfetto" in capsys.readouterr().out
+
+
+def test_trace_checked_and_fast_agree(tmp_path):
+    import json
+
+    outs = []
+    for kernel in ("checked", "fast"):
+        out = tmp_path / f"{kernel}.json"
+        rc = main(["trace", kernel, "--cycles", "150", "-n", "2",
+                   "--addresses", "16", "--out", str(out)])
+        assert rc == 0
+        outs.append(json.loads(out.read_text()))
+    assert outs[0] == outs[1]
+
+
+def test_pipelined_telemetry_outputs(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.txt"
+    events = tmp_path / "events.jsonl"
+    rc = main(["pipelined", "-n", "2", "--load", "0.4", "--cycles", "2000",
+               "--addresses", "32", "--metrics", str(metrics),
+               "--events", str(events), "--sample-interval", "64"])
+    assert rc == 0
+    assert "occupancy:" in capsys.readouterr().out
+    assert "repro_port_arrivals_total" in metrics.read_text()
+    lines = events.read_text().strip().splitlines()
+    assert lines and all(json.loads(l)["kind"] for l in lines)
+
+
+def test_simulate_telemetry_outputs(tmp_path):
+    events = tmp_path / "events.jsonl"
+    rc = main(["simulate", "--arch", "shared", "-n", "4", "--load", "0.9",
+               "--slots", "1000", "--capacity", "8", "--events", str(events)])
+    assert rc == 0
+    text = events.read_text()
+    assert '"kind":"drop"' in text and '"cause":"buffer_full"' in text
+
+
+def test_bench_json_artifact(tmp_path):
+    import json
+
+    out = tmp_path / "bench.json"
+    rc = main(["bench", "--cycles", "400", "--json", str(out)])
+    assert rc == 0
+    artifact = json.loads(out.read_text())
+    assert artifact["smoke"] is True
+    assert len(artifact["results"]) == 1
+    row = artifact["results"][0]
+    # same row schema as benchmarks/BENCH_fastpath.json
+    for key in ("experiment", "cycles", "checked_seconds", "fast_seconds",
+                "checked_cycles_per_sec", "fast_cycles_per_sec", "speedup",
+                "delivered", "dropped", "identical"):
+        assert key in row
+    assert row["identical"] is True
+    assert row["speedup"] > 0
