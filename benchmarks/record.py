@@ -19,19 +19,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import platform
 import time
 from pathlib import Path
 
-from repro.core import (
-    FastPipelinedSwitch,
-    PipelinedSwitch,
-    PipelinedSwitchConfig,
-    RenewalPacketSource,
-    SaturatingSource,
-)
-from repro.sim.packet import reset_packet_ids
+from repro.scenario import Scenario, prepare
 from repro.telemetry import Telemetry
 
 OUT_PATH = Path(__file__).parent / "BENCH_fastpath.json"
@@ -57,25 +51,27 @@ def _fingerprint(sw) -> dict:
     }
 
 
-def _run(switch_cls, cfg, make_source, cycles: int, drain: bool,
-         telemetry: Telemetry | None = None):
-    reset_packet_ids()
-    sw = switch_cls(cfg, make_source(), telemetry=telemetry)
+def _run(scenario: Scenario, fast: bool, telemetry: Telemetry | None = None):
+    """Build one kernel through the scenario registry, run it, time it."""
+    sc = dataclasses.replace(scenario,
+                             arch="pipelined_fast" if fast else "pipelined")
+    sw = prepare(sc, telemetry=telemetry).switch
     t0 = time.perf_counter()
-    sw.run(cycles)
-    if drain:
+    sw.run(sc.horizon)
+    if sc.drain:
         sw.drain()
     elapsed = time.perf_counter() - t0
     return sw, elapsed
 
 
-def _telemetry_pass(cfg, make_source, cycles: int, drain: bool) -> dict:
+def _telemetry_pass(scenario: Scenario, cycles: int) -> dict:
     """Short telemetry-on run of both kernels; assert stream equivalence and
     return the occupancy-vs-cycle summary for the record."""
+    short = dataclasses.replace(scenario, horizon=cycles)
     tel_slow = Telemetry.on(sample_interval=TELEMETRY_SAMPLE_INTERVAL)
     tel_fast = Telemetry.on(sample_interval=TELEMETRY_SAMPLE_INTERVAL)
-    _run(PipelinedSwitch, cfg, make_source, cycles, drain, telemetry=tel_slow)
-    _run(FastPipelinedSwitch, cfg, make_source, cycles, drain, telemetry=tel_fast)
+    _run(short, fast=False, telemetry=tel_slow)
+    _run(short, fast=True, telemetry=tel_fast)
     assert tel_slow.events.sorted_events() == tel_fast.events.sorted_events(), \
         "checked/fast event streams diverge"
     assert tel_slow.events.drop_taxonomy() == tel_fast.events.drop_taxonomy()
@@ -89,31 +85,34 @@ def _telemetry_pass(cfg, make_source, cycles: int, drain: bool) -> dict:
     }
 
 
-def _experiments(scale: int):
-    """(name, cfg, source factory, cycles, drain) for each workload."""
-    e15_1 = PipelinedSwitchConfig(n=8, addresses=128)
-    e15_2 = PipelinedSwitchConfig(n=8, addresses=64, credit_flow=True)
-    e15_3 = PipelinedSwitchConfig(n=4, addresses=8)
-    e13 = PipelinedSwitchConfig(n=8, addresses=256, credit_flow=True)
-    b = e13.packet_words
+def _experiments(scale: int) -> list[Scenario]:
+    """One Scenario per workload (arch is swapped per kernel by ``_run``).
+
+    ``warmup=0`` everywhere: these fingerprints predate the scenario layer
+    and its horizon//5 default, and must stay bit-identical to the seed
+    BENCH_fastpath.json numbers.
+    """
+    e13_params = {"n": 8, "addresses": 256, "credit_flow": True}
+    b = 2 * e13_params["n"]  # packet_words = depth (= 2n) * quanta
     e13_cycles = (20_000 * b // 2) // scale
+
+    def sc(name, params, traffic, cycles, drain, seed):
+        return Scenario(name=name, arch="pipelined", horizon=cycles,
+                        params=params, traffic=traffic, seeds=[seed],
+                        warmup=0, drain=drain)
+
     return [
-        ("E15 8x8 load 0.6 drop-tail", e15_1,
-         lambda: RenewalPacketSource(n_out=8, packet_words=e15_1.packet_words,
-                                     load=0.6, seed=1),
-         150_000 // scale, True),
-        ("E15 8x8 saturated credits", e15_2,
-         lambda: SaturatingSource(n_out=8, packet_words=e15_2.packet_words, seed=2),
-         150_000 // scale, False),
-        ("E15 4x4 saturated tiny buffer", e15_3,
-         lambda: SaturatingSource(n_out=4, packet_words=e15_3.packet_words, seed=3),
-         100_000 // scale, True),
-        ("E13 pipelined saturation point", e13,
-         lambda: RenewalPacketSource(n_out=8, packet_words=b, load=1.0, seed=2),
-         e13_cycles, False),
-        ("E13 pipelined latency point", e13,
-         lambda: RenewalPacketSource(n_out=8, packet_words=b, load=0.8, seed=3),
-         e13_cycles, False),
+        sc("E15 8x8 load 0.6 drop-tail", {"n": 8, "addresses": 128},
+           {"kind": "renewal", "load": 0.6}, 150_000 // scale, True, 1),
+        sc("E15 8x8 saturated credits",
+           {"n": 8, "addresses": 64, "credit_flow": True},
+           {"kind": "saturating", "load": 1.0}, 150_000 // scale, False, 2),
+        sc("E15 4x4 saturated tiny buffer", {"n": 4, "addresses": 8},
+           {"kind": "saturating", "load": 1.0}, 100_000 // scale, True, 3),
+        sc("E13 pipelined saturation point", e13_params,
+           {"kind": "renewal", "load": 1.0}, e13_cycles, False, 2),
+        sc("E13 pipelined latency point", e13_params,
+           {"kind": "renewal", "load": 0.8}, e13_cycles, False, 3),
     ]
 
 
@@ -126,22 +125,21 @@ def main(argv: list[str] | None = None) -> int:
     scale = 20 if args.smoke else 1
 
     results = []
-    for name, cfg, make_source, cycles, drain in _experiments(scale):
-        slow, t_slow = _run(PipelinedSwitch, cfg, make_source, cycles, drain)
-        fast, t_fast = _run(FastPipelinedSwitch, cfg, make_source, cycles, drain)
+    for scenario in _experiments(scale):
+        name, cycles = scenario.name, scenario.horizon
+        slow, t_slow = _run(scenario, fast=False)
+        fast, t_fast = _run(scenario, fast=True)
         for _ in range(2):
             # the fast kernel finishes in ~1 s, so its wall time is at the
             # mercy of scheduling noise; keep the cleanest of three runs
-            _, t_retry = _run(FastPipelinedSwitch, cfg, make_source, cycles,
-                              drain)
+            _, t_retry = _run(scenario, fast=True)
             t_fast = min(t_fast, t_retry)
         fp_slow, fp_fast = _fingerprint(slow), _fingerprint(fast)
         for key, want in fp_slow.items():
             got = fp_fast[key]
             assert got == want, f"{name}: {key} mismatch\n  checked={want}\n  fast={got}"
         total_cycles = fp_slow["cycle"]  # includes drain cycles
-        telemetry = _telemetry_pass(cfg, make_source, max(cycles // 10, 1000),
-                                    drain)
+        telemetry = _telemetry_pass(scenario, max(cycles // 10, 1000))
         results.append({
             "experiment": name,
             "cycles": total_cycles,

@@ -1,79 +1,63 @@
 #!/usr/bin/env python3
 """Architecture shootout: every §2 buffer organization on identical traffic.
 
-Sweeps offered load and prints throughput and mean-delay curves for FIFO
-input queueing, VOQ with three schedulers, crosspoint, block-crosspoint,
-speedup-2, output queueing and shared buffering — the full cast of paper
-figures 1 and 2 — then prints the saturation ranking.
+The experiment itself lives in ``examples/scenarios/shootout.json`` — a
+scenario grid sweeping the slot-level architectures (and three VOQ
+schedulers) over offered load.  This driver just expands the grid, runs
+it through the parallel :class:`~repro.scenario.ScenarioRunner`, and
+renders the saturation ranking and mean-delay curves — the full cast of
+paper figures 1 and 2.
 
-Run:  python examples/architecture_shootout.py  [n]
+Run:  python examples/architecture_shootout.py  [jobs]
+
+Equivalent raw sweep:  python -m repro sweep examples/scenarios/shootout.json
 """
 
 import sys
+from pathlib import Path
 
-from repro.switches import (
-    BlockCrosspoint,
-    CrosspointQueued,
-    FifoInputQueued,
-    Islip,
-    OutputQueued,
-    PIM,
-    SharedBuffer,
-    SpeedupSwitch,
-    TwoDimRoundRobin,
-    VoqInputBuffered,
-)
-from repro.switches.harness import (
-    format_table,
-    saturation_throughput,
-    uniform_source_factory,
-)
+from repro.scenario import ScenarioRunner, load_scenarios
+from repro.switches.harness import format_table
 
-LOADS = [0.4, 0.6, 0.8, 0.9, 0.95]
-SLOTS = 20_000
+SHOOTOUT = Path(__file__).parent / "scenarios" / "shootout.json"
 
 
-def architectures(n):
-    return {
-        "FIFO input queue": lambda: FifoInputQueued(n, n, seed=1),
-        "VOQ + PIM": lambda: VoqInputBuffered(n, n, PIM(iterations=4, seed=2)),
-        "VOQ + iSLIP": lambda: VoqInputBuffered(n, n, Islip(iterations=4)),
-        "VOQ + 2DRR": lambda: VoqInputBuffered(n, n, TwoDimRoundRobin()),
-        "crosspoint": lambda: CrosspointQueued(n, n, seed=3),
-        "block-crosspoint": lambda: BlockCrosspoint(n, n, block=max(n // 2, 1), seed=4),
-        "speedup-2": lambda: SpeedupSwitch(n, n, speedup=2, seed=5),
-        "output queueing": lambda: OutputQueued(n, n, seed=6),
-        "shared buffer": lambda: SharedBuffer(n, n, seed=7),
-    }
+def label(result) -> str:
+    """'voq' alone is ambiguous across schedulers; qualify it."""
+    if result["arch"] == "voq":
+        return f"voq + {result['params']['scheduler']}"
+    return result["arch"]
 
 
 def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
-    f = uniform_source_factory(n, n)
-    archs = architectures(n)
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    scenarios = load_scenarios(SHOOTOUT)
+    results = ScenarioRunner(jobs=jobs).run(scenarios)
 
-    sat_rows = []
-    for name, factory in archs.items():
-        sat_rows.append([name, saturation_throughput(factory, f, slots=SLOTS)])
-    sat_rows.sort(key=lambda r: -r[1])
+    loads = sorted({r["traffic"]["load"] for r in results})
+    by_arch: dict[str, dict[float, dict]] = {}
+    for r in results:
+        by_arch.setdefault(label(r), {})[r["traffic"]["load"]] = r["stats"]
+
+    n = results[0]["params"]["n"]
+    sat_rows = [[name, round(curves[max(loads)]["throughput"], 4)]
+                for name, curves in by_arch.items()]
+    sat_rows.sort(key=lambda row: -row[1])
     print(format_table(
         ["architecture", "saturation throughput"], sat_rows,
         title=f"Saturation ranking, {n}x{n}, uniform Bernoulli traffic",
     ))
 
     delay_rows = []
-    for name, factory in archs.items():
+    for name, curves in by_arch.items():
         row = [name]
-        for load in LOADS:
-            sw = factory()
-            sw.stats.warmup = SLOTS // 5
-            stats = sw.run(f(load, 11), SLOTS)
-            d = stats.mean_delay
-            row.append("sat" if d != d or d > 200 else f"{d:.2f}")
+        for load in loads:
+            d = curves[load]["mean_delay"]
+            row.append("sat" if d is None or d > 200 else f"{d:.2f}")
         delay_rows.append(row)
     print()
     print(format_table(
-        ["architecture"] + [f"load {p}" for p in LOADS], delay_rows,
+        ["architecture"] + [f"load {p}" for p in loads], delay_rows,
         title="Mean in-switch delay (slots); 'sat' = beyond saturation",
     ))
     print("\nReading: shared buffering == output queueing at the top; FIFO input")

@@ -22,6 +22,15 @@ Print a Telegraphos silicon report or the [HlKa88] buffer sizing::
 Export a Perfetto-loadable trace of the bank pipeline (figure 5, live)::
 
     python -m repro trace fast --cycles 2000 --out trace.json
+
+Run a declarative scenario file, or sweep a whole grid across processes::
+
+    python -m repro run examples/scenarios/cut_through.json
+    python -m repro sweep examples/scenarios/shootout.json --jobs 4 --out out/
+
+Every command builds its switches through the scenario registry
+(:mod:`repro.scenario`), so a CLI invocation and the equivalent scenario
+file produce bit-identical statistics.
 """
 
 from __future__ import annotations
@@ -75,10 +84,12 @@ def _export_telemetry(tel, args) -> None:
 
 
 def _add_simulate(sub: argparse._SubParsersAction) -> None:
+    from repro.scenario.registry import REGISTRY, SLOTTED
+
     p = sub.add_parser("simulate", help="run a slot-level switch architecture")
     p.add_argument("--arch", required=True,
-                   choices=["fifo", "voq", "output", "shared", "crosspoint",
-                            "block", "speedup", "interleaved", "knockout"])
+                   choices=sorted(a.name for a in REGISTRY.values()
+                                  if a.kind == SLOTTED))
     p.add_argument("-n", type=int, default=8, help="switch size (n x n)")
     p.add_argument("--load", type=float, default=0.8)
     p.add_argument("--slots", type=int, default=20_000)
@@ -94,53 +105,23 @@ def _add_simulate(sub: argparse._SubParsersAction) -> None:
     p.set_defaults(func=cmd_simulate)
 
 
-def _make_switch(args):
-    from repro import switches as sw
-
-    n, cap = args.n, args.capacity
-    if args.arch == "fifo":
-        return sw.FifoInputQueued(n, n, capacity=cap, seed=args.seed)
-    if args.arch == "voq":
-        sched = {
-            "pim": lambda: sw.PIM(iterations=4, seed=args.seed),
-            "islip": lambda: sw.Islip(iterations=4),
-            "2drr": sw.TwoDimRoundRobin,
-            "greedy": lambda: sw.GreedyMaximal(seed=args.seed),
-            "max": sw.MaxSizeMatching,
-        }[args.scheduler]()
-        return sw.VoqInputBuffered(n, n, sched, capacity_per_input=cap)
-    if args.arch == "output":
-        return sw.OutputQueued(n, n, capacity=cap, seed=args.seed)
-    if args.arch == "shared":
-        return sw.SharedBuffer(n, n, capacity=cap, seed=args.seed)
-    if args.arch == "crosspoint":
-        return sw.CrosspointQueued(n, n, capacity=cap, seed=args.seed)
-    if args.arch == "block":
-        block = max(n // 2, 1)
-        return sw.BlockCrosspoint(n, n, block=block, capacity_per_block=cap,
-                                  seed=args.seed)
-    if args.arch == "speedup":
-        return sw.SpeedupSwitch(n, n, speedup=2, output_capacity=cap, seed=args.seed)
-    if args.arch == "interleaved":
-        return sw.InterleavedSharedBuffer(n, n, m_banks=cap or 4 * n, seed=args.seed)
-    if args.arch == "knockout":
-        return sw.KnockoutSwitch(n, n, l_paths=8, capacity=cap, seed=args.seed)
-    raise AssertionError(args.arch)
-
-
 def cmd_simulate(args) -> int:
-    from repro.traffic import BernoulliUniform, BurstyOnOff
+    from repro.scenario import Scenario, prepare
 
-    switch = _make_switch(args)
-    switch.stats.warmup = args.slots // 5
-    tel = _telemetry_from_args(args)
-    if tel is not None:
-        switch.attach_telemetry(tel)
+    traffic = {"kind": "uniform", "load": args.load}
     if args.burst:
-        source = BurstyOnOff(args.n, args.n, args.load, args.burst, seed=args.seed + 1)
-    else:
-        source = BernoulliUniform(args.n, args.n, args.load, seed=args.seed + 1)
-    stats = switch.run(source, args.slots)
+        traffic = {"kind": "bursty", "load": args.load,
+                   "params": {"burst": args.burst}}
+    params = {"n": args.n, "capacity": args.capacity}
+    if args.arch == "voq":
+        params["scheduler"] = args.scheduler
+    scenario = Scenario(
+        name=f"simulate-{args.arch}", arch=args.arch, horizon=args.slots,
+        params=params, traffic=traffic, seeds=[args.seed],
+    )
+    tel = _telemetry_from_args(args)
+    prep = prepare(scenario, telemetry=tel)
+    stats = prep.switch.run(prep.source, args.slots)
     rows = [[k, v] for k, v in stats.summary().items()]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.arch} {args.n}x{args.n} @ load {args.load}"))
@@ -168,25 +149,34 @@ def _add_pipelined(sub: argparse._SubParsersAction) -> None:
     p.set_defaults(func=cmd_pipelined)
 
 
-def cmd_pipelined(args) -> int:
-    from repro.core import (
-        PipelinedSwitchConfig,
-        RenewalPacketSource,
-        make_pipelined_switch,
+def _pipelined_scenario(args, fast: bool, warmup: int):
+    """The Scenario behind a ``repro pipelined`` / ``repro trace`` call."""
+    from repro.scenario import Scenario
+
+    return Scenario(
+        name="pipelined-cli",
+        arch="pipelined_fast" if fast else "pipelined",
+        horizon=args.cycles,
+        params={
+            "n": args.n, "addresses": args.addresses, "width_bits": args.width,
+            "quanta": args.quanta, "credit_flow": args.credits,
+            "cut_through": not args.no_cut_through,
+        },
+        traffic={"kind": "renewal", "load": args.load},
+        seeds=[args.seed],
+        warmup=warmup,
+        drain=not args.credits,
     )
 
-    cfg = PipelinedSwitchConfig(
-        n=args.n, addresses=args.addresses, width_bits=args.width,
-        quanta=args.quanta, credit_flow=args.credits,
-        cut_through=not args.no_cut_through,
-    )
-    src = RenewalPacketSource(
-        n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
-        width_bits=cfg.width_bits, seed=args.seed,
-    )
+
+def cmd_pipelined(args) -> int:
+    from repro.scenario import prepare
+
     tel = _telemetry_from_args(args)
-    switch = make_pipelined_switch(cfg, src, fast=args.fast, telemetry=tel)
-    switch.warmup = args.cycles // 10
+    scenario = _pipelined_scenario(args, fast=args.fast,
+                                   warmup=args.cycles // 10)
+    prep = prepare(scenario, telemetry=tel)
+    switch, cfg = prep.switch, prep.switch.config
     switch.run(args.cycles)
     if not args.credits:
         switch.drain()
@@ -231,26 +221,26 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
 def cmd_bench(args) -> int:
     import time
 
-    from repro.core import (
-        PipelinedSwitchConfig,
-        RenewalPacketSource,
-        make_pipelined_switch,
-    )
+    from repro.scenario import Scenario, prepare
 
-    if args.cycles < 0:
-        raise SystemExit(f"repro bench: error: --cycles must be >= 0, got {args.cycles}")
+    if args.cycles < 1:
+        raise SystemExit(f"repro bench: error: --cycles must be >= 1, got {args.cycles}")
 
     # E15 scenario 1 shape: 8x8, 128 addresses, drop-tail, load 0.6.
-    cfg = PipelinedSwitchConfig(n=8, addresses=128)
+    scenario = Scenario(
+        name="bench-e15", arch="pipelined", horizon=args.cycles,
+        params={"n": 8, "addresses": 128},
+        traffic={"kind": "renewal", "load": 0.6},
+        seeds=[args.seed], warmup=args.cycles // 10,
+    )
+    cfg = prepare(scenario).switch.config
 
     def build(fast: bool):
-        src = RenewalPacketSource(
-            n_out=cfg.n, packet_words=cfg.packet_words, load=0.6,
-            width_bits=cfg.width_bits, seed=args.seed,
-        )
-        switch = make_pipelined_switch(cfg, src, fast=fast)
-        switch.warmup = args.cycles // 10
-        return switch
+        import dataclasses
+
+        sc = dataclasses.replace(
+            scenario, arch="pipelined_fast" if fast else "pipelined")
+        return prepare(sc).switch
 
     if args.profile:
         import cProfile
@@ -357,12 +347,7 @@ def _add_trace(sub: argparse._SubParsersAction) -> None:
 
 
 def cmd_trace(args) -> int:
-    from repro.core import (
-        PipelinedSwitchConfig,
-        RenewalPacketSource,
-        make_pipelined_switch,
-    )
-    from repro.sim.packet import reset_packet_ids
+    from repro.scenario import prepare
     from repro.telemetry import Telemetry
     from repro.telemetry.export import (
         chrome_trace_from_events,
@@ -370,22 +355,12 @@ def cmd_trace(args) -> int:
         write_chrome_trace,
     )
 
-    reset_packet_ids()
-    cfg = PipelinedSwitchConfig(
-        n=args.n, addresses=args.addresses, width_bits=args.width,
-        quanta=args.quanta, credit_flow=args.credits,
-        cut_through=not args.no_cut_through,
-    )
-    src = RenewalPacketSource(
-        n_out=cfg.n, packet_words=cfg.packet_words, load=args.load,
-        width_bits=cfg.width_bits, seed=args.seed,
-    )
     tel = _telemetry_from_args(args) or Telemetry.on(
         sample_interval=args.sample_interval
     )
-    switch = make_pipelined_switch(
-        cfg, src, fast=(args.kernel == "fast"), telemetry=tel
-    )
+    scenario = _pipelined_scenario(args, fast=(args.kernel == "fast"), warmup=0)
+    prep = prepare(scenario, telemetry=tel)
+    switch, cfg = prep.switch, prep.switch.config
     switch.run(args.cycles)
     if not args.credits:
         switch.drain()
@@ -421,15 +396,18 @@ def _add_wormhole(sub: argparse._SubParsersAction) -> None:
 
 
 def cmd_wormhole(args) -> int:
-    from repro.network import KAryNCube, WormholeNetwork
+    from repro.scenario import Scenario, prepare
 
-    topo = KAryNCube(args.k, args.dims, wrap=args.wrap)
-    net = WormholeNetwork(
-        topo, lanes=args.lanes, buffer_flits=args.buffer,
-        message_flits=args.message, load=args.load, seed=args.seed,
-        dateline=args.dateline,
+    scenario = Scenario(
+        name="wormhole-cli", arch="wormhole", horizon=args.cycles,
+        params={"k": args.k, "dims": args.dims, "lanes": args.lanes,
+                "buffer_flits": args.buffer, "message_flits": args.message,
+                "wrap": args.wrap, "dateline": args.dateline},
+        traffic={"kind": "uniform", "load": args.load},
+        seeds=[args.seed],
+        warmup=args.cycles // 5,
     )
-    net.warmup = args.cycles // 5
+    net = prepare(scenario).switch
     net.run(args.cycles)
     rows = [[k, round(v, 4) if isinstance(v, float) else v]
             for k, v in net.summary().items()]
@@ -506,6 +484,79 @@ def cmd_sizing(args) -> int:
     return 0
 
 
+def _add_scenario_flags(p: argparse.ArgumentParser, default_jobs) -> None:
+    p.add_argument("files", nargs="+", metavar="FILE",
+                   help="scenario file (JSON or TOML): a single scenario, a "
+                        "{base, grid} sweep document, or a list of either")
+    p.add_argument("--jobs", type=int, default=default_jobs,
+                   help="worker processes (results are bit-identical for any "
+                        "job count; default %(default)s)")
+    p.add_argument("--out", metavar="DIR", default=None,
+                   help="write per-scenario result JSON (plus any telemetry "
+                        "artifacts) and a merged results.json to DIR")
+    p.add_argument("--horizon", type=int, default=None, metavar="SLOTS",
+                   help="override every scenario's horizon (warmup reverts "
+                        "to the horizon//5 default); for smoke runs")
+
+
+def _add_run(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("run", help="run scenario file(s) through the registry")
+    _add_scenario_flags(p, default_jobs=1)
+    p.set_defaults(func=cmd_run)
+
+
+def _add_sweep(sub: argparse._SubParsersAction) -> None:
+    import os
+
+    p = sub.add_parser(
+        "sweep",
+        help="expand and run scenario grid(s) across worker processes",
+    )
+    _add_scenario_flags(p, default_jobs=min(os.cpu_count() or 1, 8))
+    p.set_defaults(func=cmd_run)
+
+
+def _scenario_result_rows(results) -> list[list]:
+    rows = []
+    for r in results:
+        s = r["stats"]
+        loss = s.get("loss_probability")
+        rows.append([
+            r["scenario"], r["arch"], r["seed"],
+            s.get("offered", s.get("offered_fraction", "-")),
+            s.get("delivered", s.get("delivered_fraction", "-")),
+            s.get("dropped", "-"),
+            round(loss, 6) if isinstance(loss, float) else "-",
+        ])
+    return rows
+
+
+def cmd_run(args) -> int:
+    import dataclasses
+
+    from repro.scenario import ScenarioError, ScenarioRunner, load_scenarios
+
+    scenarios = []
+    for file in args.files:
+        try:
+            scenarios.extend(load_scenarios(file))
+        except OSError as exc:
+            raise ScenarioError(f"cannot read scenario file {file!r}: {exc}")
+    if args.horizon is not None:
+        scenarios = [dataclasses.replace(sc, horizon=args.horizon, warmup=None)
+                     for sc in scenarios]
+    runner = ScenarioRunner(jobs=args.jobs, out_dir=args.out)
+    results = runner.run(scenarios)
+    print(format_table(
+        ["scenario", "arch", "seed", "offered", "delivered", "dropped", "loss"],
+        _scenario_result_rows(results),
+        title=f"{len(results)} run(s) from {len(scenarios)} scenario(s)",
+    ))
+    if args.out:
+        print(f"results -> {runner.out_dir / 'results.json'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -519,12 +570,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_wormhole(sub)
     _add_vlsi(sub)
     _add_sizing(sub)
+    _add_run(sub)
+    _add_sweep(sub)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.core import ConfigError
+    from repro.scenario import ScenarioError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ScenarioError, ConfigError) as exc:
+        # invalid configs/scenarios are user errors: one actionable line on
+        # stderr, argparse-style exit code, no traceback
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from repro.core.bank import BankConflictError, MemoryBank
 from repro.core.buffer_manager import BufferFullError, BufferManager
 from repro.core.bus import Bus, BusContentionError
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
+from repro.core.errors import ConfigError
 from repro.core.fastpath import (
     FastPathUnsupportedError,
     FastPipelinedSwitch,
@@ -39,6 +40,7 @@ from repro.core.wide import WideMemorySwitch, WideSwitchConfig
 __all__ = [
     "PipelinedSwitch",
     "PipelinedSwitchConfig",
+    "ConfigError",
     "DeadlineMissedError",
     "FastPipelinedSwitch",
     "FastPathUnsupportedError",

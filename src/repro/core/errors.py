@@ -1,0 +1,19 @@
+"""Shared error types for the word-level switch kernels.
+
+Every invalid static configuration — bad :class:`PipelinedSwitchConfig`
+fields, a source whose shape does not match the switch, a kernel that does
+not model the requested policy — raises :class:`ConfigError` (a
+``ValueError``), so callers building switches programmatically (the CLI, the
+scenario registry, sweep drivers) can catch one exception type and surface
+its message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """An invalid switch configuration (see module docstring).
+
+    Subclasses ``ValueError`` so existing ``pytest.raises(ValueError)``
+    call sites and defensive ``except ValueError`` blocks keep working.
+    """

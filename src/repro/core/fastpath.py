@@ -37,6 +37,7 @@ from collections import deque
 import numpy as np
 
 from repro.core.arbiter import Priority
+from repro.core.errors import ConfigError
 from repro.core.instrumentation import SwitchTelemetryMixin
 from repro.core.sources import PacketSource
 from repro.core.switch import DeadlineMissedError, PipelinedSwitchConfig
@@ -56,7 +57,7 @@ from repro.telemetry import (
 _ARRIVAL, _WRITE_INIT, _SRC, _DST = range(4)
 
 
-class FastPathUnsupportedError(ValueError):
+class FastPathUnsupportedError(ConfigError):
     """The fast kernel does not model this configuration; use the checked
     :class:`~repro.core.switch.PipelinedSwitch` instead."""
 
@@ -82,11 +83,11 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         telemetry: Telemetry | None = None,
     ) -> None:
         if source.n_out != config.n:
-            raise ValueError(
+            raise ConfigError(
                 f"source targets {source.n_out} outputs, switch has {config.n}"
             )
         if source.packet_words != config.packet_words:
-            raise ValueError(
+            raise ConfigError(
                 f"source packets are {source.packet_words} words, switch "
                 f"needs {config.packet_words} (pipeline depth)"
             )
@@ -538,6 +539,13 @@ def make_pipelined_switch(
     kernel skips every structural-invariant check (see module docstring).
     Pass a :class:`~repro.telemetry.Telemetry` bundle to collect metrics
     and lifecycle events — the streams are equivalent between kernels.
+
+    Every invalid configuration — bad :class:`PipelinedSwitchConfig`
+    fields, a source whose shape does not match the switch, or an
+    arbitration policy the fast kernel does not model — raises
+    :class:`~repro.core.errors.ConfigError` (a ``ValueError``), never a
+    bare assertion or type-specific exception, so callers can surface one
+    clean error instead of a traceback.
     """
     if fast:
         return FastPipelinedSwitch(config, source, telemetry=telemetry)

@@ -27,6 +27,7 @@ from repro.core.arbiter import WriteRequest
 from repro.core.bank import MemoryBank
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
 from repro.core.latches import InputLatchRow, OutputRegisterRow
+from repro.core.errors import ConfigError
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
 from repro.sim.packet import Packet, Word
 from repro.sim.stats import Counter, SwitchStats
@@ -43,9 +44,9 @@ class SplitBufferConfig:
 
     def __post_init__(self) -> None:
         if self.n < 2:
-            raise ValueError(f"need n >= 2, got {self.n}")
+            raise ConfigError(f"need n >= 2, got {self.n}")
         if self.addresses_each < 1:
-            raise ValueError(f"need >= 1 address per memory, got {self.addresses_each}")
+            raise ConfigError(f"need >= 1 address per memory, got {self.addresses_each}")
 
     @property
     def packet_words(self) -> int:
@@ -80,7 +81,7 @@ class SplitPipelinedBuffer:
 
     def __init__(self, config: SplitBufferConfig, source: PacketSource) -> None:
         if source.n_out != config.n or source.packet_words != config.packet_words:
-            raise ValueError("source/switch shape mismatch")
+            raise ConfigError("source/switch shape mismatch")
         self.config = config
         self.source = source
         n = config.n

@@ -35,6 +35,7 @@ from repro.core.bank import MemoryBank
 from repro.core.buffer_manager import BufferManager, PacketRecord
 from repro.core.bus import Bus
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
+from repro.core.errors import ConfigError
 from repro.core.latches import InputLatchRow, OutputRegisterRow
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
 from repro.core.instrumentation import SwitchTelemetryMixin
@@ -100,25 +101,25 @@ class PipelinedSwitchConfig:
 
     def __post_init__(self) -> None:
         if self.n < 1:
-            raise ValueError(f"need n >= 1, got {self.n}")
+            raise ConfigError(f"need n >= 1, got {self.n}")
         if self.depth is None:
             self.depth = 2 * self.n
         if self.depth < 2:
-            raise ValueError(f"pipeline depth must be >= 2, got {self.depth}")
+            raise ConfigError(f"pipeline depth must be >= 2, got {self.depth}")
         if self.addresses < 1:
-            raise ValueError(f"need >= 1 buffer address, got {self.addresses}")
+            raise ConfigError(f"need >= 1 buffer address, got {self.addresses}")
         if self.quanta < 1:
-            raise ValueError(f"packets are >= 1 quantum, got {self.quanta}")
+            raise ConfigError(f"packets are >= 1 quantum, got {self.quanta}")
         if self.addresses < self.quanta:
-            raise ValueError("buffer must hold at least one whole packet")
+            raise ConfigError("buffer must hold at least one whole packet")
         if self.credit_flow and self.credits_per_input is None:
             self.credits_per_input = max(self.addresses // (self.n * self.quanta), 1)
         if self.downstream_credits is not None and self.downstream_credits < 1:
-            raise ValueError("downstream links need >= 1 credit")
+            raise ConfigError("downstream links need >= 1 credit")
         if self.downstream_rtt < 0:
-            raise ValueError("downstream RTT cannot be negative")
+            raise ConfigError("downstream RTT cannot be negative")
         if self.link_pipeline_stages < 0:
-            raise ValueError("link pipeline stages cannot be negative")
+            raise ConfigError("link pipeline stages cannot be negative")
 
     @property
     def packet_words(self) -> int:
@@ -156,11 +157,11 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         telemetry: Telemetry | None = None,
     ) -> None:
         if source.n_out != config.n:
-            raise ValueError(
+            raise ConfigError(
                 f"source targets {source.n_out} outputs, switch has {config.n}"
             )
         if source.packet_words != config.packet_words:
-            raise ValueError(
+            raise ConfigError(
                 f"source packets are {source.packet_words} words, switch "
                 f"needs {config.packet_words} (pipeline depth)"
             )

@@ -34,6 +34,7 @@ import math
 from collections import deque
 from dataclasses import dataclass
 
+from repro.core.errors import ConfigError
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
 from repro.sim.packet import Packet
 from repro.sim.stats import Counter, Histogram, SwitchStats
@@ -56,13 +57,13 @@ class WideSwitchConfig:
 
     def __post_init__(self) -> None:
         if self.n < 1:
-            raise ValueError(f"need n >= 1, got {self.n}")
+            raise ConfigError(f"need n >= 1, got {self.n}")
         if self.depth is None:
             self.depth = 2 * self.n
         if self.depth < 2:
-            raise ValueError(f"packet must be >= 2 words, got {self.depth}")
+            raise ConfigError(f"packet must be >= 2 words, got {self.depth}")
         if self.addresses < 1:
-            raise ValueError(f"need >= 1 buffer address, got {self.addresses}")
+            raise ConfigError(f"need >= 1 buffer address, got {self.addresses}")
 
     @property
     def packet_words(self) -> int:
@@ -92,11 +93,11 @@ class WideMemorySwitch:
 
     def __init__(self, config: WideSwitchConfig, source: PacketSource) -> None:
         if source.n_out != config.n:
-            raise ValueError(
+            raise ConfigError(
                 f"source targets {source.n_out} outputs, switch has {config.n}"
             )
         if source.packet_words != config.packet_words:
-            raise ValueError(
+            raise ConfigError(
                 f"source packets are {source.packet_words} words, switch "
                 f"needs {config.packet_words}"
             )
@@ -269,7 +270,7 @@ class WideMemorySwitch:
                 if dst is None:
                     continue
                 if not 0 <= dst < self.config.n:
-                    raise ValueError(f"source produced bad destination {dst}")
+                    raise ConfigError(f"source produced bad destination {dst}")
                 pkt = Packet(src=i, dst=dst, payload=(), arrival_cycle=t)
                 pkt.payload = deterministic_payload(pkt.uid, b, self.config.width_bits)
                 inp.assembling = pkt

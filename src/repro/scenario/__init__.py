@@ -1,0 +1,42 @@
+"""Declarative scenario layer: one spec + registry for every kernel.
+
+A :class:`Scenario` names an architecture from the registry, its config
+parameters, a traffic spec, a horizon and seeds — everything needed to
+reproduce a run from a JSON/TOML file.  :func:`run_scenario` executes one;
+:class:`ScenarioRunner` sweeps many across processes with bit-identical
+results regardless of job count.  See ARCHITECTURE.md §12.
+"""
+
+from repro.scenario.registry import (
+    REGISTRY,
+    ArchitectureDef,
+    architectures,
+    prepare,
+    run_scenario,
+    slotted_factory,
+    validate_scenario,
+)
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import (
+    Scenario,
+    ScenarioError,
+    TelemetrySpec,
+    TrafficSpec,
+    load_scenarios,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "TrafficSpec",
+    "TelemetrySpec",
+    "load_scenarios",
+    "ArchitectureDef",
+    "REGISTRY",
+    "architectures",
+    "validate_scenario",
+    "prepare",
+    "run_scenario",
+    "slotted_factory",
+    "ScenarioRunner",
+]

@@ -1,0 +1,102 @@
+"""Multiprocess sweep runner for scenarios.
+
+:class:`ScenarioRunner` takes a list of scenarios (typically from
+:func:`repro.scenario.load_scenarios` or :meth:`Scenario.expand`), fans the
+(scenario, seed) jobs across worker processes, and merges results
+deterministically: the merged list is ordered by job submission order
+(scenario order x seed order), never by completion order, so a
+``jobs=8`` sweep is bit-identical to ``jobs=1``.  Each job resets the
+global packet-uid counter (see :func:`repro.scenario.registry.prepare`),
+so per-job results are independent of scheduling too.
+
+With ``out_dir`` set, every job writes ``<name>-seed<seed>.json`` and the
+merge writes ``results.json``; telemetry artifacts (events JSONL, metrics
+text) are written by the worker that owns the bundle.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.scenario.registry import run_scenario, validate_scenario
+from repro.scenario.spec import Scenario, ScenarioError
+
+
+def _run_job(job: tuple[dict[str, Any], int, str | None]) -> dict[str, Any]:
+    """Worker entry point: job is (scenario dict, seed, out_dir or None).
+
+    Module-level (picklable) and dict-based so the parent's Scenario
+    objects never need to cross the process boundary.
+    """
+    scenario_dict, seed, out_dir = job
+    scenario = Scenario.from_dict(scenario_dict)
+    return run_scenario(scenario, seed, out_dir=out_dir)
+
+
+class ScenarioRunner:
+    """Run scenarios sequentially (``jobs=1``) or in parallel, same bits."""
+
+    def __init__(self, jobs: int = 1, out_dir: str | Path | None = None):
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ScenarioError(f"jobs must be an integer >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+
+    def run(self, scenarios: Scenario | Iterable[Scenario]) -> list[dict[str, Any]]:
+        """Validate everything up front, run all (scenario, seed) jobs.
+
+        Returns one result dict per job in deterministic submission order.
+        Raises :class:`ScenarioError` before running anything if any
+        scenario is invalid or two jobs would collide on (name, seed).
+        """
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios]
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ScenarioError("no scenarios to run")
+        for sc in scenarios:
+            validate_scenario(sc)
+        jobs = self._job_list(scenarios)
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+        out = str(self.out_dir) if self.out_dir is not None else None
+        payload = [(sc.to_dict(), seed, out) for sc, seed in jobs]
+        if self.jobs == 1 or len(payload) == 1:
+            results = [_run_job(job) for job in payload]
+        else:
+            workers = min(self.jobs, len(payload))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # executor.map preserves submission order — the merge is
+                # order-independent regardless of completion order.
+                results = list(pool.map(_run_job, payload))
+        if self.out_dir is not None:
+            self._write_artifacts(results)
+        return results
+
+    @staticmethod
+    def _job_list(scenarios: Sequence[Scenario]) -> list[tuple[Scenario, int]]:
+        jobs: list[tuple[Scenario, int]] = []
+        seen: set[tuple[str, int]] = set()
+        for sc in scenarios:
+            for seed in sc.seeds:
+                key = (sc.name, seed)
+                if key in seen:
+                    raise ScenarioError(
+                        f"duplicate job: scenario {sc.name!r} with seed {seed} "
+                        f"appears twice; give scenarios unique names (expand() "
+                        f"does this for grids) or drop the repeated seed"
+                    )
+                seen.add(key)
+                jobs.append((sc, seed))
+        return jobs
+
+    def _write_artifacts(self, results: list[dict[str, Any]]) -> None:
+        assert self.out_dir is not None
+        for result in results:
+            path = self.out_dir / f"{result['scenario']}-seed{result['seed']}.json"
+            path.write_text(json.dumps(result, indent=2, allow_nan=False) + "\n")
+        merged = self.out_dir / "results.json"
+        merged.write_text(json.dumps(results, indent=2, allow_nan=False) + "\n")

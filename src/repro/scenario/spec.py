@@ -1,0 +1,434 @@
+"""Declarative experiment specifications.
+
+A :class:`Scenario` names one simulation completely: which architecture
+(by registry name), its configuration parameters, the traffic offered to
+it, the horizon, the seeds, and the telemetry to collect.  Scenarios are
+plain data — they serialize to JSON (and load from TOML), they expand
+into grids, and the :mod:`repro.scenario.runner` executes them, so "run
+the E13 sweep" is a file, not four hand-rolled call sites.
+
+Every validation failure raises :class:`ScenarioError` with a message
+that says what was wrong *and* what would have been accepted — these
+errors are surfaced verbatim by the CLI, so they must read like advice,
+not like a stack frame.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import math
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+
+class ScenarioError(ValueError):
+    """An invalid scenario specification (message is user-facing advice)."""
+
+
+def _suggest(word: str, options: Iterable[str]) -> str:
+    close = difflib.get_close_matches(word, list(options), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+@dataclass
+class TrafficSpec:
+    """What arrives at the switch.
+
+    ``kind`` names a traffic model understood by the architecture's kind
+    (see :data:`repro.scenario.registry.TRAFFIC_KINDS`); ``load`` is the
+    offered load; model-specific knobs (burst length, hotspot fraction)
+    go in ``params``.  ``batched=True`` draws slotted traffic through the
+    vectorized :meth:`~repro.traffic.base.TrafficSource.arrivals_matrix`
+    path — deterministic per seed, statistically identical, different
+    sample path (slotted architectures only).
+    """
+
+    kind: str = "uniform"
+    load: float = 0.8
+    params: dict[str, Any] = field(default_factory=dict)
+    batched: bool = False
+
+    def validate(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise ScenarioError(f"traffic.kind must be a non-empty string, got {self.kind!r}")
+        if not isinstance(self.load, (int, float)) or isinstance(self.load, bool):
+            raise ScenarioError(f"traffic.load must be a number, got {self.load!r}")
+        if math.isnan(self.load) or self.load < 0.0 or self.load > 1.0:
+            raise ScenarioError(f"traffic.load must be in [0, 1], got {self.load}")
+        if not isinstance(self.params, dict):
+            raise ScenarioError(f"traffic.params must be a table/dict, got {type(self.params).__name__}")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "load": self.load}
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.batched:
+            out["batched"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        return _from_mapping(cls, data, where="traffic")
+
+
+@dataclass
+class TelemetrySpec:
+    """Which telemetry channels a run collects (and exports as artifacts)."""
+
+    metrics: bool = False
+    events: bool = False
+    sample_interval: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.metrics or self.events or self.sample_interval)
+
+    def validate(self) -> None:
+        for flag in ("metrics", "events"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ScenarioError(f"telemetry.{flag} must be true or false")
+        if not isinstance(self.sample_interval, int) or isinstance(self.sample_interval, bool) \
+                or self.sample_interval < 0:
+            raise ScenarioError(
+                f"telemetry.sample_interval must be an integer >= 0 (cycles "
+                f"between occupancy samples; 0 = off), got {self.sample_interval!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if self.metrics:
+            out["metrics"] = True
+        if self.events:
+            out["events"] = True
+        if self.sample_interval:
+            out["sample_interval"] = self.sample_interval
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
+        return _from_mapping(cls, data, where="telemetry")
+
+
+@dataclass
+class Scenario:
+    """One named, fully-specified simulation (see module docstring).
+
+    ``horizon`` is in the architecture's native time unit: slots for the
+    slot-level models and fabrics, clock cycles for the word-level kernels
+    and the wormhole network.  ``warmup`` defaults to ``horizon // 5``.
+    ``seeds`` lists independent replications; each (scenario, seed) pair is
+    one job for the :class:`~repro.scenario.runner.ScenarioRunner`.
+    """
+
+    name: str
+    arch: str
+    horizon: int
+    params: dict[str, Any] = field(default_factory=dict)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    seeds: tuple[int, ...] = (1,)
+    warmup: int | None = None
+    drain: bool = False
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.traffic, Mapping):
+            self.traffic = TrafficSpec.from_dict(self.traffic)
+        if isinstance(self.telemetry, Mapping):
+            self.telemetry = TelemetrySpec.from_dict(self.telemetry)
+        if isinstance(self.seeds, (int,)) and not isinstance(self.seeds, bool):
+            self.seeds = (self.seeds,)
+        else:
+            self.seeds = tuple(self.seeds)
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Structural validation (architecture-independent).
+
+        The registry's :func:`~repro.scenario.registry.validate_scenario`
+        additionally checks ``arch``, ``params`` and ``traffic.kind``
+        against the named architecture.
+        """
+        if not isinstance(self.name, str) or not self.name:
+            raise ScenarioError("scenario needs a non-empty 'name'")
+        if any(c in self.name for c in "/\\\0"):
+            raise ScenarioError(
+                f"scenario name {self.name!r} must not contain path separators "
+                f"(it becomes the artifact file name)"
+            )
+        if not isinstance(self.arch, str) or not self.arch:
+            raise ScenarioError(f"scenario {self.name!r} needs an 'arch' (architecture name)")
+        if not isinstance(self.horizon, int) or isinstance(self.horizon, bool) or self.horizon < 1:
+            raise ScenarioError(
+                f"scenario {self.name!r}: horizon must be a positive integer "
+                f"(slots or cycles), got {self.horizon!r}"
+            )
+        if not isinstance(self.params, dict):
+            raise ScenarioError(f"scenario {self.name!r}: params must be a table/dict")
+        if not self.seeds:
+            raise ScenarioError(f"scenario {self.name!r}: needs at least one seed")
+        for s in self.seeds:
+            if not isinstance(s, int) or isinstance(s, bool) or s < 0:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: seeds must be non-negative integers, got {s!r}"
+                )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ScenarioError(f"scenario {self.name!r}: duplicate seeds {list(self.seeds)}")
+        if self.warmup is not None and (
+            not isinstance(self.warmup, int) or isinstance(self.warmup, bool) or self.warmup < 0
+        ):
+            raise ScenarioError(
+                f"scenario {self.name!r}: warmup must be an integer >= 0, got {self.warmup!r}"
+            )
+        if self.warmup is not None and self.warmup >= self.horizon:
+            raise ScenarioError(
+                f"scenario {self.name!r}: warmup ({self.warmup}) must be below "
+                f"the horizon ({self.horizon}) or no statistics are measured"
+            )
+        if not isinstance(self.drain, bool):
+            raise ScenarioError(f"scenario {self.name!r}: drain must be true or false")
+        self.traffic.validate()
+        self.telemetry.validate()
+
+    @property
+    def effective_warmup(self) -> int:
+        return self.horizon // 5 if self.warmup is None else self.warmup
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "arch": self.arch,
+            "horizon": self.horizon,
+        }
+        if self.params:
+            out["params"] = dict(self.params)
+        out["traffic"] = self.traffic.to_dict()
+        out["seeds"] = list(self.seeds)
+        if self.warmup is not None:
+            out["warmup"] = self.warmup
+        if self.drain:
+            out["drain"] = True
+        tel = self.telemetry.to_dict()
+        if tel:
+            out["telemetry"] = tel
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        sc = _from_mapping(cls, data, where="scenario")
+        sc.validate()
+        return sc
+
+    def dumps(self) -> str:
+        """The scenario as a JSON document (round-trips via :meth:`load`)."""
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    def dumps_toml(self) -> str:
+        """The scenario as a TOML document (round-trips via :meth:`load`)."""
+        return _to_toml(self.to_dict())
+
+    def dump(self, path: str | Path) -> None:
+        path = Path(path)
+        text = self.dumps_toml() if path.suffix == ".toml" else self.dumps()
+        path.write_text(text)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Scenario":
+        """Load exactly one scenario from a JSON or TOML file."""
+        scenarios = load_scenarios(path)
+        if len(scenarios) != 1:
+            raise ScenarioError(
+                f"{path} holds {len(scenarios)} scenarios; use "
+                f"repro.scenario.load_scenarios() (or 'repro sweep') for grids"
+            )
+        return scenarios[0]
+
+    # -- grid expansion -----------------------------------------------------
+    def expand(self, grid: Mapping[str, list[Any]]) -> list["Scenario"]:
+        """Cartesian expansion of this scenario over a sweep grid.
+
+        Grid keys are dotted paths into the spec — ``"traffic.load"``,
+        ``"params.n"``, ``"arch"``, ``"horizon"``, ``"traffic.params.burst"``
+        — each mapped to the list of values to sweep.  ``{"traffic.load":
+        [0.5, 0.7, 0.9]}`` yields three scenarios named
+        ``{name}-load0.5`` … in deterministic (insertion-then-product)
+        order.
+        """
+        if not isinstance(grid, Mapping) or not grid:
+            raise ScenarioError("sweep grid must be a non-empty table of axis -> list of values")
+        axes: list[tuple[str, list[Any]]] = []
+        for key, values in grid.items():
+            if not isinstance(values, list) or not values:
+                raise ScenarioError(
+                    f"sweep axis {key!r} must map to a non-empty list of values, "
+                    f"got {values!r}"
+                )
+            axes.append((key, values))
+        expanded = [self]
+        for key, values in axes:
+            expanded = [
+                _with_path(sc, key, value) for sc in expanded for value in values
+            ]
+        for sc in expanded:
+            sc.validate()
+        names = [sc.name for sc in expanded]
+        if len(set(names)) != len(names):
+            raise ScenarioError(
+                f"sweep expansion produced duplicate scenario names (e.g. "
+                f"{names[0]!r}); vary the base name or the grid axes"
+            )
+        return expanded
+
+
+_SETTABLE_ROOTS = ("arch", "horizon", "warmup", "drain")
+
+
+def _with_path(sc: Scenario, path: str, value: Any) -> Scenario:
+    """A copy of ``sc`` with the dotted ``path`` set to ``value`` and the
+    axis appended to its name."""
+    leaf = path.rsplit(".", 1)[-1]
+    if isinstance(value, str):
+        # "fifo" reads better than "arch-fifo"; other string axes keep
+        # their key ("scheduler-pim") so mixed grids stay unambiguous.
+        suffix = value if leaf in ("arch", "kind") else f"{leaf}-{value}"
+    else:
+        suffix = f"{leaf}{value}"
+    new = replace(
+        sc,
+        params=dict(sc.params),
+        traffic=replace(sc.traffic, params=dict(sc.traffic.params)),
+        telemetry=replace(sc.telemetry),
+        name=f"{sc.name}-{suffix}",
+    )
+    parts = path.split(".")
+    if parts[0] == "params" and len(parts) == 2:
+        new.params[parts[1]] = value
+    elif parts[0] == "traffic" and len(parts) == 2 and parts[1] != "params":
+        if parts[1] not in {f.name for f in fields(TrafficSpec)}:
+            raise ScenarioError(
+                f"unknown sweep axis {path!r}"
+                f"{_suggest(parts[1], [f'traffic.{f.name}' for f in fields(TrafficSpec)])}"
+            )
+        setattr(new.traffic, parts[1], value)
+    elif parts[0] == "traffic" and len(parts) == 3 and parts[1] == "params":
+        new.traffic.params[parts[2]] = value
+    elif len(parts) == 1 and parts[0] in _SETTABLE_ROOTS:
+        setattr(new, parts[0], value)
+    else:
+        valid = list(_SETTABLE_ROOTS) + ["params.<key>", "traffic.load",
+                                         "traffic.kind", "traffic.params.<key>"]
+        raise ScenarioError(
+            f"unknown sweep axis {path!r}; valid axes: {', '.join(valid)}"
+            f"{_suggest(path, _SETTABLE_ROOTS)}"
+        )
+    return new
+
+
+# -- file loading (scenario, list, or sweep documents) ----------------------
+
+def load_scenarios(path: str | Path) -> list[Scenario]:
+    """Load a JSON/TOML file into a list of validated scenarios.
+
+    Accepted document shapes:
+
+    * one scenario object (has an ``arch`` key);
+    * a sweep: ``{"base": {scenario...}, "grid": {axis: [values...]}}``;
+    * a list of either (JSON only; TOML has no top-level arrays).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            doc: Any = tomllib.loads(raw)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"{path} is not valid TOML: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path} is not valid JSON: {exc}") from exc
+    return _scenarios_from_document(doc, where=str(path))
+
+
+def _scenarios_from_document(doc: Any, where: str) -> list[Scenario]:
+    if isinstance(doc, list):
+        out: list[Scenario] = []
+        for i, item in enumerate(doc):
+            out.extend(_scenarios_from_document(item, where=f"{where}[{i}]"))
+        if not out:
+            raise ScenarioError(f"{where}: empty scenario list")
+        return out
+    if not isinstance(doc, Mapping):
+        raise ScenarioError(
+            f"{where}: expected a scenario object, a sweep "
+            f"({{'base': ..., 'grid': ...}}), or a list of those"
+        )
+    if "grid" in doc or "base" in doc:
+        extra = set(doc) - {"base", "grid"}
+        if extra or "base" not in doc or "grid" not in doc:
+            raise ScenarioError(
+                f"{where}: a sweep document needs exactly 'base' and 'grid' "
+                f"keys, got {sorted(doc)}"
+            )
+        base = Scenario.from_dict(doc["base"])
+        return base.expand(doc["grid"])
+    if "arch" not in doc:
+        raise ScenarioError(
+            f"{where}: not a scenario (no 'arch' key) and not a sweep (no "
+            f"'base'/'grid' keys); keys present: {sorted(doc)}"
+        )
+    return [Scenario.from_dict(doc)]
+
+
+# -- shared helpers ----------------------------------------------------------
+
+def _from_mapping(cls, data: Mapping[str, Any], where: str):
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"{where} must be a table/dict, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        bad = sorted(unknown)[0]
+        raise ScenarioError(
+            f"{where} has unknown key {bad!r}{_suggest(bad, known)}; "
+            f"valid keys: {', '.join(sorted(known))}"
+        )
+    try:
+        return cls(**dict(data))
+    except TypeError as exc:
+        raise ScenarioError(f"invalid {where}: {exc}") from exc
+
+
+def _to_toml(data: Mapping[str, Any], prefix: str = "") -> str:
+    """Minimal TOML writer for scenario documents (scalars, lists, nested
+    tables — exactly the shapes :meth:`Scenario.to_dict` produces).
+    ``tomllib`` is read-only, so round-tripping needs this emitter."""
+    scalars: list[str] = []
+    tables: list[str] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            inner = _to_toml(value, prefix=f"{prefix}{key}.")
+            header = f"[{prefix}{key}]\n"
+            tables.append(header + inner if inner else header)
+        else:
+            scalars.append(f"{key} = {_toml_value(value)}\n")
+    return "".join(scalars) + ("\n" if scalars and tables else "") + "\n".join(tables)
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # JSON string escaping is valid TOML
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise ScenarioError(f"cannot serialize {value!r} to TOML")

@@ -32,13 +32,27 @@ def run_switch(
     ``fast=True`` batches the traffic generation through
     :meth:`~repro.traffic.base.TrafficSource.arrivals_matrix` — same
     statistics, different (still seed-deterministic) sample path.
-    ``telemetry`` attaches a collection bundle to the switch for the run.
+    ``telemetry`` attaches a collection bundle to the switch for this run
+    only: the bundle is detached afterwards and cannot be passed to a
+    second ``run_switch`` call — counters and event logs are cumulative,
+    so a reused bundle would silently double-count the earlier run.
     """
     if telemetry is not None:
+        if getattr(telemetry, "_harness_consumed", False):
+            raise ValueError(
+                "this Telemetry bundle already collected a run_switch() run; "
+                "create a fresh Telemetry.on() bundle per run (metrics and "
+                "event logs are cumulative, so reuse would double-count)"
+            )
+        telemetry._harness_consumed = True
         switch.attach_telemetry(telemetry)
-    if fast:
-        return switch.run_fast(source, slots)
-    return switch.run(source, slots)
+    try:
+        if fast:
+            return switch.run_fast(source, slots)
+        return switch.run(source, slots)
+    finally:
+        if telemetry is not None:
+            switch.attach_telemetry(None)
 
 
 def uniform_source_factory(n_in: int, n_out: int) -> SourceFactory:
@@ -48,6 +62,19 @@ def uniform_source_factory(n_in: int, n_out: int) -> SourceFactory:
         return BernoulliUniform(n_in, n_out, load, seed=seed)
 
     return factory
+
+
+def registry_switch_factory(arch: str, seed: int = 1, **params) -> SwitchFactory:
+    """A :data:`SwitchFactory` for a scenario-registry architecture name.
+
+    The sweep helpers below take factories; this is how callers get one
+    without touching switch constructors:
+    ``latency_vs_load(registry_switch_factory("voq", n=8, scheduler="pim"),
+    uniform_source_factory(8, 8), loads)``.
+    """
+    from repro.scenario import slotted_factory
+
+    return slotted_factory(arch, seed=seed, **params)
 
 
 def throughput_at_load(

@@ -1,0 +1,168 @@
+"""Tests for the declarative Scenario spec: validation, serialization,
+grid expansion, and document loading."""
+
+import json
+
+import pytest
+
+from repro.scenario import Scenario, ScenarioError, TrafficSpec, load_scenarios
+
+
+def pipelined_scenario(**overrides):
+    base = dict(
+        name="demo", arch="pipelined", horizon=2_000,
+        params={"n": 4, "addresses": 64},
+        traffic={"kind": "renewal", "load": 0.6},
+        seeds=[1, 2], drain=True,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestValidation:
+    def test_valid_scenario_passes(self):
+        pipelined_scenario().validate()
+
+    def test_name_with_path_separator_rejected(self):
+        with pytest.raises(ScenarioError, match="path separator"):
+            pipelined_scenario(name="a/b").validate()
+
+    @pytest.mark.parametrize("horizon", [0, -5, 1.5, "1000", True])
+    def test_bad_horizon_rejected(self, horizon):
+        with pytest.raises(ScenarioError, match="horizon"):
+            pipelined_scenario(horizon=horizon).validate()
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate seeds"):
+            pipelined_scenario(seeds=[1, 1]).validate()
+
+    def test_warmup_must_stay_below_horizon(self):
+        with pytest.raises(ScenarioError, match="below"):
+            pipelined_scenario(warmup=2_000).validate()
+
+    def test_warmup_defaults_to_fifth_of_horizon(self):
+        assert pipelined_scenario().effective_warmup == 400
+        assert pipelined_scenario(warmup=7).effective_warmup == 7
+
+    def test_load_out_of_range_rejected(self):
+        with pytest.raises(ScenarioError, match=r"\[0, 1\]"):
+            pipelined_scenario(traffic={"kind": "renewal", "load": 1.5}).validate()
+
+    def test_int_seed_coerced_to_tuple(self):
+        assert pipelined_scenario(seeds=3).seeds == (3,)
+
+    def test_unknown_key_suggests_fix(self):
+        with pytest.raises(ScenarioError, match="did you mean 'horizon'"):
+            Scenario.from_dict({"name": "x", "arch": "pipelined",
+                                "horizont": 100})
+
+    def test_unknown_traffic_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown key 'lod'"):
+            TrafficSpec.from_dict({"kind": "uniform", "lod": 0.5})
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        sc = pipelined_scenario(telemetry={"events": True, "sample_interval": 32})
+        again = Scenario.from_dict(json.loads(sc.dumps()))
+        assert again == sc
+
+    def test_toml_round_trip(self, tmp_path):
+        sc = pipelined_scenario(
+            traffic={"kind": "renewal", "load": 0.6, "params": {"dests": [0, 1]}},
+        )
+        path = tmp_path / "demo.toml"
+        sc.dump(path)
+        assert Scenario.load(path) == sc
+
+    def test_json_dump_load_file(self, tmp_path):
+        sc = pipelined_scenario()
+        path = tmp_path / "demo.json"
+        sc.dump(path)
+        assert Scenario.load(path) == sc
+
+    def test_to_dict_omits_defaults(self):
+        d = Scenario(name="x", arch="shared", horizon=10).to_dict()
+        assert "drain" not in d and "warmup" not in d and "telemetry" not in d
+
+
+class TestExpand:
+    def test_grid_expansion_order_and_names(self):
+        scs = pipelined_scenario().expand(
+            {"traffic.load": [0.5, 0.9], "params.n": [2, 4]})
+        assert [s.name for s in scs] == [
+            "demo-load0.5-n2", "demo-load0.5-n4",
+            "demo-load0.9-n2", "demo-load0.9-n4",
+        ]
+        assert scs[0].traffic.load == 0.5 and scs[0].params["n"] == 2
+        assert scs[3].traffic.load == 0.9 and scs[3].params["n"] == 4
+
+    def test_arch_axis_uses_bare_value_in_name(self):
+        scs = Scenario(name="s", arch="shared", horizon=10).expand(
+            {"arch": ["fifo", "voq"]})
+        assert [s.name for s in scs] == ["s-fifo", "s-voq"]
+
+    def test_expansion_does_not_mutate_base(self):
+        base = pipelined_scenario()
+        base.expand({"params.n": [2, 8], "traffic.load": [0.1]})
+        assert base.params["n"] == 4
+        assert base.traffic.load == 0.6
+
+    def test_unknown_axis_rejected_with_advice(self):
+        with pytest.raises(ScenarioError, match="valid axes"):
+            pipelined_scenario().expand({"paramsn": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="non-empty list"):
+            pipelined_scenario().expand({"params.n": []})
+
+
+class TestLoadScenarios:
+    def test_single_scenario_document(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(pipelined_scenario().dumps())
+        assert [s.name for s in load_scenarios(path)] == ["demo"]
+
+    def test_sweep_document(self, tmp_path):
+        doc = {"base": pipelined_scenario().to_dict(),
+               "grid": {"traffic.load": [0.4, 0.8]}}
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(doc))
+        assert [s.name for s in load_scenarios(path)] == [
+            "demo-load0.4", "demo-load0.8"]
+
+    def test_list_document_mixing_shapes(self, tmp_path):
+        doc = [
+            pipelined_scenario(name="a").to_dict(),
+            {"base": pipelined_scenario(name="b").to_dict(),
+             "grid": {"params.n": [2, 4]}},
+        ]
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps(doc))
+        assert [s.name for s in load_scenarios(path)] == ["a", "b-n2", "b-n4"]
+
+    def test_not_a_scenario_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ScenarioError, match="no 'arch' key"):
+            load_scenarios(path)
+
+    def test_invalid_json_is_a_scenario_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            load_scenarios(path)
+
+    def test_missing_file_is_a_scenario_error(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenarios(tmp_path / "absent.json")
+
+    def test_example_files_all_load(self):
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+        files = sorted(examples.glob("*.json"))
+        assert files, "examples/scenarios/ should ship scenario files"
+        for file in files:
+            scenarios = load_scenarios(file)
+            assert scenarios

@@ -57,3 +57,42 @@ def test_format_table():
     assert lines[0] == "T"
     assert "a" in lines[1] and "b" in lines[1]
     assert len(lines) == 5
+
+
+def test_run_switch_rejects_reused_telemetry_bundle():
+    from repro.switches import SharedBuffer
+    from repro.switches.harness import run_switch
+    from repro.telemetry import Telemetry
+
+    f = uniform_source_factory(4, 4)
+    tel = Telemetry.on()
+    run_switch(SharedBuffer(4, 4, seed=1), f(0.5, 2), 500, telemetry=tel)
+    events_after_first = len(tel.events)
+    with pytest.raises(ValueError, match="double-count"):
+        run_switch(SharedBuffer(4, 4, seed=1), f(0.5, 2), 500, telemetry=tel)
+    # the rejected second run must not have touched the bundle
+    assert len(tel.events) == events_after_first
+
+
+def test_run_switch_detaches_telemetry_after_run():
+    from repro.switches import SharedBuffer
+    from repro.switches.harness import run_switch
+    from repro.telemetry import Telemetry
+
+    f = uniform_source_factory(4, 4)
+    tel = Telemetry.on()
+    switch = SharedBuffer(4, 4, seed=1)
+    run_switch(switch, f(0.5, 2), 500, telemetry=tel)
+    events = len(tel.events)
+    # further slots on the same switch must not leak into the bundle
+    switch.run(f(0.5, 3), 500)
+    assert len(tel.events) == events
+
+
+def test_registry_switch_factory_drives_sweeps():
+    from repro.switches.harness import registry_switch_factory
+
+    f = uniform_source_factory(4, 4)
+    t = throughput_at_load(registry_switch_factory("shared", n=4), f,
+                           load=0.6, slots=3_000)
+    assert 0.5 < t <= 0.7

@@ -163,3 +163,72 @@ def test_bench_json_artifact(tmp_path):
         assert key in row
     assert row["identical"] is True
     assert row["speedup"] > 0
+
+
+def test_pipelined_invalid_config_clean_error(capsys):
+    rc = main(["pipelined", "-n", "0", "--cycles", "100"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "repro: error:" in err
+    assert "n >= 1" in err
+    assert "Traceback" not in err
+
+
+def test_pipelined_invalid_quanta_clean_error(capsys):
+    rc = main(["pipelined", "-n", "2", "--cycles", "100", "--quanta", "-1"])
+    assert rc == 2
+    assert "repro: error:" in capsys.readouterr().err
+
+
+def test_run_scenario_file(tmp_path, capsys):
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="shared", horizon=800, params={"n": 4},
+             traffic={"kind": "uniform", "load": 0.7}).dump(path)
+    rc = main(["run", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "one" in out and "shared" in out
+
+
+def test_run_missing_file_clean_error(capsys):
+    rc = main(["run", "no-such-file.json"])
+    assert rc == 2
+    assert "cannot read scenario file" in capsys.readouterr().err
+
+
+def test_run_horizon_override_and_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="shared", horizon=50_000, params={"n": 4},
+             traffic={"kind": "uniform", "load": 0.7}).dump(path)
+    out_dir = tmp_path / "out"
+    rc = main(["run", str(path), "--horizon", "500", "--out", str(out_dir)])
+    assert rc == 0
+    merged = json.loads((out_dir / "results.json").read_text())
+    assert merged[0]["horizon"] == 500
+    assert merged[0]["warmup"] == 100
+
+
+def test_sweep_parallel_matches_sequential_artifacts(tmp_path):
+    import json
+
+    doc = {
+        "base": {"name": "grid", "arch": "shared", "horizon": 600,
+                 "params": {"n": 4},
+                 "traffic": {"kind": "uniform", "load": 0.5}},
+        "grid": {"arch": ["shared", "output"], "traffic.load": [0.5, 0.9]},
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(doc))
+    out_seq, out_par = tmp_path / "seq", tmp_path / "par"
+    assert main(["run", str(path), "--jobs", "1", "--out", str(out_seq)]) == 0
+    assert main(["sweep", str(path), "--jobs", "2", "--out", str(out_par)]) == 0
+    seq = json.loads((out_seq / "results.json").read_text())
+    par = json.loads((out_par / "results.json").read_text())
+    assert seq == par
+    assert len(seq) == 4
