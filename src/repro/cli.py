@@ -28,6 +28,12 @@ Run a declarative scenario file, or sweep a whole grid across processes::
     python -m repro run examples/scenarios/cut_through.json
     python -m repro sweep examples/scenarios/shootout.json --jobs 4 --out out/
 
+Check the repo against the design rules, or run with the invariant
+sanitizer attached (:mod:`repro.drc`)::
+
+    python -m repro lint src tests
+    python -m repro run examples/scenarios/cut_through.json --sanitize
+
 Every command builds its switches through the scenario registry
 (:mod:`repro.scenario`), so a CLI invocation and the equivalent scenario
 file produce bit-identical statistics.
@@ -83,6 +89,19 @@ def _export_telemetry(tel, args) -> None:
                           for k, v in series.items()))
 
 
+def _add_sanitize_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--sanitize", action="store_true",
+                   help="attach the repro.drc invariant sanitizer: check the "
+                        "paper's structural invariants every cycle and halt "
+                        "with a structured error on the first violation")
+
+
+def _print_sanitizer_summary(sanitizer) -> None:
+    if sanitizer is not None:
+        print("sanitizer: "
+              + ", ".join(f"{k}={v}" for k, v in sanitizer.summary().items()))
+
+
 def _add_simulate(sub: argparse._SubParsersAction) -> None:
     from repro.scenario.registry import REGISTRY, SLOTTED
 
@@ -102,6 +121,7 @@ def _add_simulate(sub: argparse._SubParsersAction) -> None:
                    help="mean burst length for bursty on/off traffic")
     p.add_argument("--seed", type=int, default=1)
     _add_telemetry_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_simulate)
 
 
@@ -120,11 +140,12 @@ def cmd_simulate(args) -> int:
         params=params, traffic=traffic, seeds=[args.seed],
     )
     tel = _telemetry_from_args(args)
-    prep = prepare(scenario, telemetry=tel)
+    prep = prepare(scenario, telemetry=tel, sanitize=args.sanitize)
     stats = prep.switch.run(prep.source, args.slots)
     rows = [[k, v] for k, v in stats.summary().items()]
     print(format_table(["metric", "value"], rows,
                        title=f"{args.arch} {args.n}x{args.n} @ load {args.load}"))
+    _print_sanitizer_summary(prep.sanitizer)
     _export_telemetry(tel, args)
     return 0
 
@@ -146,6 +167,7 @@ def _add_pipelined(sub: argparse._SubParsersAction) -> None:
                         "no per-word invariant checking)")
     p.add_argument("--seed", type=int, default=1)
     _add_telemetry_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_pipelined)
 
 
@@ -175,7 +197,7 @@ def cmd_pipelined(args) -> int:
     tel = _telemetry_from_args(args)
     scenario = _pipelined_scenario(args, fast=args.fast,
                                    warmup=args.cycles // 10)
-    prep = prepare(scenario, telemetry=tel)
+    prep = prepare(scenario, telemetry=tel, sanitize=args.sanitize)
     switch, cfg = prep.switch, prep.switch.config
     switch.run(args.cycles)
     if not args.credits:
@@ -195,6 +217,7 @@ def cmd_pipelined(args) -> int:
         title=(f"pipelined memory {cfg.n}x{cfg.n}, {cfg.depth} stages, "
                f"{cfg.packet_words}-word packets, load {args.load}"),
     ))
+    _print_sanitizer_summary(prep.sanitizer)
     _export_telemetry(tel, args)
     return 0
 
@@ -497,6 +520,7 @@ def _add_scenario_flags(p: argparse.ArgumentParser, default_jobs) -> None:
     p.add_argument("--horizon", type=int, default=None, metavar="SLOTS",
                    help="override every scenario's horizon (warmup reverts "
                         "to the horizon//5 default); for smoke runs")
+    _add_sanitize_flag(p)
 
 
 def _add_run(sub: argparse._SubParsersAction) -> None:
@@ -545,7 +569,8 @@ def cmd_run(args) -> int:
     if args.horizon is not None:
         scenarios = [dataclasses.replace(sc, horizon=args.horizon, warmup=None)
                      for sc in scenarios]
-    runner = ScenarioRunner(jobs=args.jobs, out_dir=args.out)
+    runner = ScenarioRunner(jobs=args.jobs, out_dir=args.out,
+                            sanitize=args.sanitize)
     results = runner.run(scenarios)
     print(format_table(
         ["scenario", "arch", "seed", "offered", "delivered", "dropped", "loss"],
@@ -555,6 +580,45 @@ def cmd_run(args) -> int:
     if args.out:
         print(f"results -> {runner.out_dir / 'results.json'}")
     return 0
+
+
+def _add_lint(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "lint",
+        help="check the repository source against the repro.drc design rules",
+    )
+    p.add_argument("paths", nargs="*", default=["src", "tests"], metavar="PATH",
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--format", choices=["text", "json", "sarif"], default="text",
+                   help="report format (default %(default)s; sarif is the "
+                        "2.1.0 schema code-scanning services ingest)")
+    p.add_argument("--output", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_lint)
+
+
+def cmd_lint(args) -> int:
+    from repro.drc import FORMATTERS, rule_catalog, run_lint
+
+    if args.rules:
+        print(format_table(
+            ["code", "name", "checks"],
+            [[r.code, r.name, r.summary] for r in rule_catalog()],
+            title="repro.drc rule catalog (suppress with  # drc: disable=<code>)",
+        ))
+        return 0
+    result = run_lint(args.paths)
+    report = FORMATTERS[args.format](result)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+        n = len(result.all_findings())
+        print(f"{n} violation{'s' if n != 1 else ''} -> {args.output}")
+    else:
+        print(report)
+    return result.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -572,11 +636,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sizing(sub)
     _add_run(sub)
     _add_sweep(sub)
+    _add_lint(sub)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     from repro.core import ConfigError
+    from repro.drc import SanitizerError
     from repro.scenario import ScenarioError
 
     args = build_parser().parse_args(argv)
@@ -587,6 +653,11 @@ def main(argv: list[str] | None = None) -> int:
         # stderr, argparse-style exit code, no traceback
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except SanitizerError as exc:
+        # an invariant violation is a *finding*, not a crash: surface the
+        # structured message and a distinct exit code
+        print(f"repro: sanitizer: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

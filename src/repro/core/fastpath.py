@@ -40,7 +40,12 @@ from repro.core.arbiter import Priority
 from repro.core.errors import ConfigError
 from repro.core.instrumentation import SwitchTelemetryMixin
 from repro.core.sources import PacketSource
-from repro.core.switch import DeadlineMissedError, PipelinedSwitchConfig
+from repro.core.switch import (
+    DeadlineMissedError,
+    PipelinedSwitch,
+    PipelinedSwitchConfig,
+)
+from repro.drc.sanitizer import Sanitizer
 from repro.sim.stats import Counter, Histogram, SwitchStats
 from repro.telemetry import (
     ARRIVE,
@@ -81,6 +86,7 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         config: PipelinedSwitchConfig,
         source: PacketSource,
         telemetry: Telemetry | None = None,
+        sanitizer: Sanitizer | None = None,
     ) -> None:
         if source.n_out != config.n:
             raise ConfigError(
@@ -160,6 +166,7 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
         self.attach_telemetry(telemetry)
+        self.attach_sanitizer(sanitizer)
 
     def _telemetry_state(self) -> tuple[int, int, list[int]]:
         return (self.config.addresses - self._free, self._free,
@@ -252,6 +259,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
             rec = self._rec[uid & self._mask]
             arrival = int(rec[_ARRIVAL])
             head = t0 + 1 + self._extra
+            if self._san:
+                self.sanitizer.packet_delivered(t, uid)
             self.stats.record_departure(int(rec[_DST]), arrival, head)
             if arrival >= self.stats.warmup:
                 ct = head - arrival
@@ -272,6 +281,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         # Phase 2: wave arbitration (a reserved chain slot owns the cycle).
         if t in self._chain:
             self._chain.discard(t)
+            if self._san:
+                self.sanitizer.wave_initiated(t, -1)  # chain continuation
         else:
             self._arbitrate(t)
         # Input credits return when the departure chain's last stage executes
@@ -282,6 +293,13 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
             self._credits[credit_due.popleft()[1]] += 1
         # Phase 4: word arrivals.
         self._accept_arrivals(t)
+        if self._san:
+            in_flight = (
+                sum(1 for u in self._pend_uid if u >= 0)
+                + sum(len(q) for q in self._queues)
+                + len(self._stats_due)
+            )
+            self.sanitizer.end_cycle(t, in_flight)
         self.cycle = t + 1
         self.stats.horizon = self.cycle
 
@@ -412,6 +430,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
 
     def _start_read(self, t: int, j: int) -> None:
         uid, _arrival, _winit, src = self._queues[j].popleft()
+        if self._san:
+            self.sanitizer.wave_initiated(t, uid)
         self._reserve_chain(t)
         self._start_departure_chain(t, j, uid, src)
         self.plain_read_waves += 1
@@ -426,6 +446,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
             self.deadline_overrides += 1
             if self._tel:
                 self._m_deadline.inc()
+        if self._san:
+            self.sanitizer.wave_initiated(t, uid)
         self._free -= self._quanta
         self._rec[uid & self._mask][_WRITE_INIT] = t
         self._pend_uid[i] = -1
@@ -498,6 +520,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         self._pend_uid[i] = uid
         self._pend_dst[i] = dst
         self._pend_arr[i] = t
+        if self._san:
+            self.sanitizer.packet_injected(t, uid)
         self.stats.record_offer(t)
         if self._tel:
             self.telemetry.events.emit(t, ARRIVE, uid, src=i, dst=dst)
@@ -519,6 +543,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
 
     def _drop_pending(self, t: int, i: int, cause: str) -> None:
         uid = self._pend_uid[i]
+        if self._san:
+            self.sanitizer.packet_dropped(t, uid)
         self.stats.record_drop(self._pend_arr[i])
         self.overrun_drops += 1
         self._unobstructed.discard(uid)
@@ -532,7 +558,8 @@ def make_pipelined_switch(
     source: PacketSource,
     fast: bool = False,
     telemetry: Telemetry | None = None,
-):
+    sanitizer: Sanitizer | None = None,
+) -> "PipelinedSwitch | FastPipelinedSwitch":
     """Build the checked model or, with ``fast=True``, the wave-level kernel.
 
     The two produce bit-identical statistics on the same seed; the fast
@@ -548,7 +575,7 @@ def make_pipelined_switch(
     clean error instead of a traceback.
     """
     if fast:
-        return FastPipelinedSwitch(config, source, telemetry=telemetry)
-    from repro.core.switch import PipelinedSwitch
-
-    return PipelinedSwitch(config, source, telemetry=telemetry)
+        return FastPipelinedSwitch(config, source, telemetry=telemetry,
+                                   sanitizer=sanitizer)
+    return PipelinedSwitch(config, source, telemetry=telemetry,
+                           sanitizer=sanitizer)

@@ -17,6 +17,7 @@ tests compare the sampled series element by element.
 
 from __future__ import annotations
 
+from repro.drc.sanitizer import NULL_SANITIZER, NullSanitizer, Sanitizer
 from repro.telemetry import (
     CUT_THROUGH,
     DROP,
@@ -32,6 +33,18 @@ class SwitchTelemetryMixin:
 
     telemetry: Telemetry
     _tel: bool
+    sanitizer: Sanitizer | NullSanitizer
+    _san: bool
+
+    def attach_sanitizer(self, sanitizer: Sanitizer | None) -> None:
+        """Point this switch's invariant hooks at ``sanitizer``.
+
+        Same null-object discipline as :meth:`attach_telemetry`: detached
+        (the default) reduces every hook site to one cached boolean test,
+        so the sanitizer costs nothing unless ``--sanitize`` asked for it.
+        """
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        self._san = self.sanitizer.enabled
 
     def attach_telemetry(self, telemetry: Telemetry | None) -> None:
         """Point this switch's collection sites at ``telemetry``.

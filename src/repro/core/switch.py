@@ -39,6 +39,7 @@ from repro.core.errors import ConfigError
 from repro.core.latches import InputLatchRow, OutputRegisterRow
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
 from repro.core.instrumentation import SwitchTelemetryMixin
+from repro.drc.sanitizer import Sanitizer
 from repro.sim.packet import Packet, Word
 from repro.sim.stats import Counter, Histogram, SwitchStats
 from repro.telemetry import (
@@ -155,6 +156,7 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         config: PipelinedSwitchConfig,
         source: PacketSource,
         telemetry: Telemetry | None = None,
+        sanitizer: Sanitizer | None = None,
     ) -> None:
         if source.n_out != config.n:
             raise ConfigError(
@@ -215,6 +217,7 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
         self.attach_telemetry(telemetry)
+        self.attach_sanitizer(sanitizer)
 
     def _telemetry_state(self) -> tuple[int, int, list[int]]:
         return (self.buffer.occupancy, self.buffer.free_count,
@@ -300,6 +303,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         self._execute_waves(t)
         self._accept_arrivals(t)
         self.out_row.commit()
+        if self._san:
+            self.sanitizer.end_cycle(t, len(self._sent))
         self.cycle = t + 1
         self.stats.horizon = self.cycle
 
@@ -324,7 +329,7 @@ class PipelinedSwitch(SwitchTelemetryMixin):
                     remaining.append((due, k, word, link))
             self._wire_pipe = remaining
 
-    def _emit(self, t: int, word, link: int) -> None:
+    def _emit(self, t: int, word: Word, link: int) -> None:
         self.sinks[link].deliver(t, word.packet_uid, word.index, word.payload)
         if word.index == self.config.packet_words - 1:
             self._complete_delivery(t, link, word.packet_uid)
@@ -344,6 +349,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
             )
         packet.depart_first_cycle = head_cycle
         packet.depart_last_cycle = t
+        if self._san:
+            self.sanitizer.packet_delivered(t, uid)
         self.stats.record_departure(link, packet.arrival_cycle, head_cycle)
         if packet.arrival_cycle >= self.stats.warmup:
             self.ct_latency.add(packet.cut_through_latency)
@@ -365,6 +372,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         reserved = self._chain.pop(t, None)
         if reserved is not None:
             # A chain continuation owns this cycle's initiation slot.
+            if self._san:
+                self.sanitizer.wave_initiated(t, reserved.packet_uid)
             self.control.initiate(reserved)
             return
         reads = self._read_candidates(t)
@@ -448,6 +457,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
             assert j is not None
             rec = self.buffer.start_departure(j, t)
             first = ControlWord(WaveOp.READ, rec.addrs[0], out_link=j, packet_uid=rec.uid)
+            if self._san:
+                self.sanitizer.wave_initiated(t, rec.uid)
             self.control.initiate(first)
             self._reserve_chain(t, first, rec.addrs)
             self._departing[rec.uid] = rec
@@ -479,6 +490,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
                 WaveOp.WRITE_CT, rec.addrs[0], in_link=w.in_link, out_link=j,
                 packet_uid=rec.uid,
             )
+            if self._san:
+                self.sanitizer.wave_initiated(t, rec.uid)
             self.control.initiate(first)
             self._reserve_chain(t, first, rec.addrs)
             self._departing[rec.uid] = rec
@@ -491,6 +504,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
             first = ControlWord(
                 WaveOp.WRITE, rec.addrs[0], in_link=w.in_link, packet_uid=rec.uid
             )
+            if self._san:
+                self.sanitizer.wave_initiated(t, rec.uid)
             self.control.initiate(first)
             self._reserve_chain(t, first, rec.addrs)
             self.write_waves += 1
@@ -512,6 +527,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         for k, cw in self.control.active():
             bank = self.banks[k]
             bus = self.buses[k]
+            if self._san:
+                self.sanitizer.bank_access(t, k, cw.addr, cw.packet_uid, cw.quantum)
             if cw.op in (WaveOp.WRITE, WaveOp.WRITE_CT):
                 word = self.in_latches[cw.in_link].consume(k)
                 expected_index = cw.quantum * self.config.depth + k
@@ -592,6 +609,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         state.discard_current = False
         state.pending = WriteRequest(in_link=i, dst=dst, uid=packet.uid, arrival_cycle=t)
         self._sent[packet.uid] = packet
+        if self._san:
+            self.sanitizer.packet_injected(t, packet.uid)
         self.stats.record_offer(t)
         if self._tel:
             self.telemetry.events.emit(t, ARRIVE, packet.uid, src=i, dst=dst)
@@ -619,6 +638,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
     def _drop_packet(self, t: int, i: int, w: WriteRequest, cause: str) -> None:
         state = self._inputs[i]
         state.pending = None
+        if self._san:
+            self.sanitizer.packet_dropped(t, w.uid)
         self.stats.record_drop(w.arrival_cycle)
         self.overrun_drops += 1
         if self._tel:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from repro.drc.sanitizer import Sanitizer
 from repro.scenario.spec import Scenario, ScenarioError, TrafficSpec, _suggest
 from repro.sim.packet import reset_packet_ids
 from repro.telemetry import Telemetry
@@ -53,6 +54,7 @@ class ArchitectureDef:
     build: Callable[..., Any]  # kind-specific builder (see _prepare_* below)
     telemetry_ok: bool = False
     drain_ok: bool = False
+    sanitize_ok: bool = False  # kernel has repro.drc sanitizer hook sites
 
 
 REGISTRY: dict[str, ArchitectureDef] = {}
@@ -75,7 +77,7 @@ def _slotted(name: str, description: str, build, extra: Mapping[str, Any] = {}):
     _register(ArchitectureDef(
         name=name, kind=SLOTTED, description=description,
         params={"n": 8, "capacity": None, **extra}, build=build,
-        telemetry_ok=True,
+        telemetry_ok=True, sanitize_ok=True,
     ))
 
 
@@ -203,16 +205,16 @@ def _pipelined_config(p):
     )
 
 
-def _build_pipelined(p, source, telemetry):
+def _build_pipelined(p, source, telemetry, sanitizer=None):
     from repro.core import make_pipelined_switch
     return make_pipelined_switch(_pipelined_config(p), source, fast=False,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry, sanitizer=sanitizer)
 
 
-def _build_pipelined_fast(p, source, telemetry):
+def _build_pipelined_fast(p, source, telemetry, sanitizer=None):
     from repro.core import make_pipelined_switch
     return make_pipelined_switch(_pipelined_config(p), source, fast=True,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry, sanitizer=sanitizer)
 
 
 def _wide_config(p):
@@ -222,7 +224,7 @@ def _wide_config(p):
                             cut_through=p["cut_through"])
 
 
-def _build_wide(p, source, telemetry):
+def _build_wide(p, source, telemetry, sanitizer=None):
     from repro.core import WideMemorySwitch
     return WideMemorySwitch(_wide_config(p), source)
 
@@ -233,7 +235,7 @@ def _split_config(p):
                              width_bits=p["width_bits"])
 
 
-def _build_split(p, source, telemetry):
+def _build_split(p, source, telemetry, sanitizer=None):
     from repro.core import SplitPipelinedBuffer
     return SplitPipelinedBuffer(_split_config(p), source)
 
@@ -251,13 +253,13 @@ _register(ArchitectureDef(
     name="pipelined", kind=WORD,
     description="checked word-level pipelined-memory switch (paper §3)",
     params=_PIPELINED_PARAMS, build=_WORD_BUILDERS["pipelined"],
-    telemetry_ok=True, drain_ok=True,
+    telemetry_ok=True, drain_ok=True, sanitize_ok=True,
 ))
 _register(ArchitectureDef(
     name="pipelined_fast", kind=WORD,
     description="wave-level fast kernel (bit-identical statistics)",
     params=_PIPELINED_PARAMS, build=_WORD_BUILDERS["pipelined_fast"],
-    telemetry_ok=True, drain_ok=True,
+    telemetry_ok=True, drain_ok=True, sanitize_ok=True,
 ))
 _register(ArchitectureDef(
     name="wide", kind=WORD,
@@ -455,6 +457,7 @@ class Prepared:
     switch: Any
     source: Any
     telemetry: Telemetry | None
+    sanitizer: Sanitizer | None = None
 
     def execute(self) -> dict[str, Any]:
         """Run to the horizon (plus drain, if requested) and summarize."""
@@ -471,6 +474,8 @@ class Prepared:
             "traffic": sc.traffic.to_dict(),
             "stats": stats,
         }
+        if self.sanitizer is not None:
+            result["sanitizer"] = self.sanitizer.summary()
         if self.telemetry is not None and self.telemetry.enabled:
             result["telemetry"] = {
                 "events": len(self.telemetry.events),
@@ -484,11 +489,15 @@ def prepare(
     scenario: Scenario,
     seed: int | None = None,
     telemetry: Telemetry | None = None,
+    sanitize: bool = False,
 ) -> Prepared:
     """Validate and build one (scenario, seed) simulation (see module doc).
 
     ``seed`` defaults to the scenario's first seed.  ``telemetry`` defaults
     to a fresh bundle when the scenario's telemetry spec asks for one.
+    ``sanitize=True`` attaches a :class:`~repro.drc.Sanitizer` (the
+    ``--sanitize`` path): the run halts with a structured
+    :class:`~repro.drc.SanitizerError` on the first invariant violation.
     Resets the global packet-uid counter, making the build independent of
     whatever ran earlier in this process.
     """
@@ -496,6 +505,16 @@ def prepare(
     seed = scenario.seeds[0] if seed is None else seed
     if telemetry is None and scenario.telemetry.enabled:
         telemetry = Telemetry.on(sample_interval=scenario.telemetry.sample_interval)
+    sanitizer: Sanitizer | None = None
+    if sanitize:
+        if not adef.sanitize_ok:
+            ok = sorted(a.name for a in REGISTRY.values() if a.sanitize_ok)
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: architecture {scenario.arch!r} "
+                f"has no sanitizer hook sites; sanitize-capable "
+                f"architectures: {', '.join(ok)}"
+            )
+        sanitizer = Sanitizer(telemetry=telemetry)
     params = _merged_params(adef, scenario.params, where=f"scenario {scenario.name!r}")
     reset_packet_ids()
     source: Any = None
@@ -504,12 +523,14 @@ def prepare(
         source = _slotted_source(scenario.traffic, params["n"], seed + 1)
         if telemetry is not None:
             switch.attach_telemetry(telemetry)
+        if sanitizer is not None:
+            switch.attach_sanitizer(sanitizer)
         switch.stats.warmup = scenario.effective_warmup
     elif adef.kind == WORD:
         make_config, make_switch = adef.build
         cfg = make_config(params)
         word_source = _word_source(scenario.traffic, cfg, seed)
-        switch = make_switch(params, word_source, telemetry)
+        switch = make_switch(params, word_source, telemetry, sanitizer)
         switch.warmup = scenario.effective_warmup
     elif adef.kind == FABRIC:
         switch = adef.build(params, seed)
@@ -519,7 +540,8 @@ def prepare(
         switch = adef.build(params, scenario.traffic.load, seed)
         switch.warmup = scenario.effective_warmup
     return Prepared(scenario=scenario, seed=seed, kind=adef.kind,
-                    switch=switch, source=source, telemetry=telemetry)
+                    switch=switch, source=source, telemetry=telemetry,
+                    sanitizer=sanitizer)
 
 
 def _execute_slotted(prep: Prepared) -> dict[str, Any]:
@@ -601,6 +623,7 @@ def run_scenario(
     seed: int | None = None,
     telemetry: Telemetry | None = None,
     out_dir: str | Path | None = None,
+    sanitize: bool = False,
 ) -> dict[str, Any]:
     """Build, run and summarize one (scenario, seed) pair.
 
@@ -608,9 +631,11 @@ def run_scenario(
     events/metrics artifacts are written there as
     ``<name>-seed<seed>.events.jsonl`` / ``.metrics.txt`` (the runner
     routes workers through this, so exports happen in the worker that owns
-    the telemetry bundle).
+    the telemetry bundle).  ``sanitize=True`` runs with the invariant
+    sanitizer attached (see :func:`prepare`) and adds its summary to the
+    result.
     """
-    prep = prepare(scenario, seed, telemetry)
+    prep = prepare(scenario, seed, telemetry, sanitize=sanitize)
     result = prep.execute()
     if out_dir is not None and prep.telemetry is not None and prep.telemetry.enabled:
         from repro.telemetry.export import write_events_jsonl, write_metrics_text

@@ -25,25 +25,33 @@ from repro.scenario.registry import run_scenario, validate_scenario
 from repro.scenario.spec import Scenario, ScenarioError
 
 
-def _run_job(job: tuple[dict[str, Any], int, str | None]) -> dict[str, Any]:
-    """Worker entry point: job is (scenario dict, seed, out_dir or None).
+def _run_job(job: tuple[dict[str, Any], int, str | None, bool]) -> dict[str, Any]:
+    """Worker entry point: job is (scenario dict, seed, out_dir or None,
+    sanitize flag).
 
     Module-level (picklable) and dict-based so the parent's Scenario
     objects never need to cross the process boundary.
     """
-    scenario_dict, seed, out_dir = job
+    scenario_dict, seed, out_dir, sanitize = job
     scenario = Scenario.from_dict(scenario_dict)
-    return run_scenario(scenario, seed, out_dir=out_dir)
+    return run_scenario(scenario, seed, out_dir=out_dir, sanitize=sanitize)
 
 
 class ScenarioRunner:
-    """Run scenarios sequentially (``jobs=1``) or in parallel, same bits."""
+    """Run scenarios sequentially (``jobs=1``) or in parallel, same bits.
 
-    def __init__(self, jobs: int = 1, out_dir: str | Path | None = None):
+    ``sanitize=True`` attaches the :mod:`repro.drc` invariant sanitizer to
+    every job (each worker gets its own — the sanitizer holds per-run
+    state); a violation in any job raises out of :meth:`run`.
+    """
+
+    def __init__(self, jobs: int = 1, out_dir: str | Path | None = None,
+                 sanitize: bool = False):
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ScenarioError(f"jobs must be an integer >= 1, got {jobs!r}")
         self.jobs = jobs
         self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.sanitize = sanitize
 
     def run(self, scenarios: Scenario | Iterable[Scenario]) -> list[dict[str, Any]]:
         """Validate everything up front, run all (scenario, seed) jobs.
@@ -58,12 +66,18 @@ class ScenarioRunner:
         if not scenarios:
             raise ScenarioError("no scenarios to run")
         for sc in scenarios:
-            validate_scenario(sc)
+            adef = validate_scenario(sc)
+            if self.sanitize and not adef.sanitize_ok:
+                raise ScenarioError(
+                    f"scenario {sc.name!r}: architecture {sc.arch!r} has no "
+                    f"sanitizer hook sites; drop --sanitize or use a "
+                    f"sanitize-capable architecture"
+                )
         jobs = self._job_list(scenarios)
         if self.out_dir is not None:
             self.out_dir.mkdir(parents=True, exist_ok=True)
         out = str(self.out_dir) if self.out_dir is not None else None
-        payload = [(sc.to_dict(), seed, out) for sc, seed in jobs]
+        payload = [(sc.to_dict(), seed, out, self.sanitize) for sc, seed in jobs]
         if self.jobs == 1 or len(payload) == 1:
             results = [_run_job(job) for job in payload]
         else:

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.drc.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.sim.packet import Cell
 from repro.sim.stats import SwitchStats
 from repro.telemetry import (
@@ -53,6 +54,7 @@ class SlottedSwitch(ABC):
         self._occupancy_samples: list[int] = []
         self.sample_occupancy = False
         self.attach_telemetry(telemetry)
+        self.attach_sanitizer(None)
 
     def attach_telemetry(self, telemetry: Telemetry | None) -> None:
         """Point the slot-level collection sites at ``telemetry``.
@@ -78,6 +80,16 @@ class SlottedSwitch(ABC):
         self._m_occupancy = m.gauge("repro_buffer_occupancy")
         self._m_delay = m.histogram("repro_slot_delay_slots")
 
+    def attach_sanitizer(self, sanitizer: Sanitizer | None) -> None:
+        """Point the invariant hooks at ``sanitizer`` (null-object when off).
+
+        Slotted models have no banks or waves, so only the packet-lifecycle
+        hooks fire: the sanitizer checks cell conservation (injected =
+        delivered + buffered + dropped) against :meth:`occupancy` each slot.
+        """
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
+        self._san = self.sanitizer.enabled
+
     # -- architecture-specific hooks ----------------------------------------
     @abstractmethod
     def _admit(self, cell: Cell) -> bool:
@@ -100,6 +112,8 @@ class SlottedSwitch(ABC):
         stats directly, so the drop shows up in the event log and per-port
         drop counters exactly like an admission-time drop.
         """
+        if self._san:
+            self.sanitizer.packet_dropped(self.slot, cell.uid)
         if cell.arrival_slot >= self.stats.warmup:
             self.stats.accepted -= 1
             self.stats.dropped += 1
@@ -140,6 +154,8 @@ class SlottedSwitch(ABC):
                 tag=tags[src] if tags is not None else None,
             )
             self.stats.record_offer(self.slot)
+            if self._san:
+                self.sanitizer.packet_injected(self.slot, cell.uid)
             if self._tel:
                 self.telemetry.events.emit(
                     self.slot, ARRIVE, cell.uid, src=src, dst=dst
@@ -148,6 +164,8 @@ class SlottedSwitch(ABC):
             if self._admit(cell):
                 self.stats.record_accept(self.slot)
             else:
+                if self._san:
+                    self.sanitizer.packet_dropped(self.slot, cell.uid)
                 self.stats.record_drop(self.slot)
                 if self._tel:
                     self.telemetry.events.emit(
@@ -170,6 +188,8 @@ class SlottedSwitch(ABC):
                     f"cell {cell.uid} destined to {cell.dst} departed on output {j}"
                 )
             cell.depart_slot = self.slot
+            if self._san:
+                self.sanitizer.packet_delivered(self.slot, cell.uid)
             self.stats.record_departure(cell.dst, cell.arrival_slot, self.slot)
             if self._tel:
                 self.telemetry.events.emit(
@@ -188,6 +208,8 @@ class SlottedSwitch(ABC):
                 occ = self.occupancy()
                 self.telemetry.sample(self.slot, occ)
                 self._m_occupancy.set(occ)
+        if self._san:
+            self.sanitizer.end_cycle(self.slot, self.occupancy())
 
         self.slot += 1
         self.stats.horizon = self.slot

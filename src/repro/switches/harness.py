@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.drc.sanitizer import Sanitizer
 from repro.sim.stats import SwitchStats
 from repro.switches.base import SlottedSwitch
 from repro.telemetry import Telemetry
@@ -26,6 +27,7 @@ def run_switch(
     slots: int,
     fast: bool = False,
     telemetry: Telemetry | None = None,
+    sanitizer: Sanitizer | None = None,
 ) -> SwitchStats:
     """Drive ``switch`` with ``source`` for ``slots`` slots; return stats.
 
@@ -36,6 +38,10 @@ def run_switch(
     only: the bundle is detached afterwards and cannot be passed to a
     second ``run_switch`` call — counters and event logs are cumulative,
     so a reused bundle would silently double-count the earlier run.
+    ``sanitizer`` attaches a :class:`~repro.drc.Sanitizer` for this run
+    only (the ``--sanitize`` path): the switch reports per-slot lifecycle
+    evidence and the sanitizer raises a structured
+    :class:`~repro.drc.SanitizerError` on any conservation violation.
     """
     if telemetry is not None:
         if getattr(telemetry, "_harness_consumed", False):
@@ -46,6 +52,8 @@ def run_switch(
             )
         telemetry._harness_consumed = True
         switch.attach_telemetry(telemetry)
+    if sanitizer is not None:
+        switch.attach_sanitizer(sanitizer)
     try:
         if fast:
             return switch.run_fast(source, slots)
@@ -53,6 +61,8 @@ def run_switch(
     finally:
         if telemetry is not None:
             switch.attach_telemetry(None)
+        if sanitizer is not None:
+            switch.attach_sanitizer(None)
 
 
 def uniform_source_factory(n_in: int, n_out: int) -> SourceFactory:

@@ -232,3 +232,111 @@ def test_sweep_parallel_matches_sequential_artifacts(tmp_path):
     par = json.loads((out_par / "results.json").read_text())
     assert seq == par
     assert len(seq) == 4
+
+
+# -- repro lint (the repro.drc static half) -----------------------------------
+
+def _lint_tree(tmp_path, source):
+    bad = tmp_path / "src" / "repro" / "sim" / "clocky.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(source)
+    return bad
+
+
+def test_lint_reports_violation_and_exits_nonzero(tmp_path, capsys, monkeypatch):
+    _lint_tree(tmp_path, "import time\nt = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    rc = main(["lint", "src"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "DRC101" in out
+    assert "src/repro/sim/clocky.py:2" in out
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys, monkeypatch):
+    _lint_tree(tmp_path, "x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    rc = main(["lint", "src"])
+    assert rc == 0
+    assert "No violations in 1 file" in capsys.readouterr().out
+
+
+def test_lint_json_and_sarif_formats(tmp_path, capsys, monkeypatch):
+    import json
+
+    _lint_tree(tmp_path, "import time\nt = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "src", "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["violations"][0]["code"] == "DRC101"
+    assert main(["lint", "src", "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"][0]["ruleId"] == "DRC101"
+
+
+def test_lint_output_file(tmp_path, capsys, monkeypatch):
+    import json
+
+    _lint_tree(tmp_path, "import time\nt = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    report = tmp_path / "drc.sarif"
+    rc = main(["lint", "src", "--format", "sarif", "--output", str(report)])
+    assert rc == 1
+    assert json.loads(report.read_text())["version"] == "2.1.0"
+    assert "1 violation" in capsys.readouterr().out
+
+
+def test_lint_rules_catalog(capsys):
+    rc = main(["lint", "--rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for code in ("DRC101", "DRC104", "DRC112", "DRC121", "DRC131"):
+        assert code in out
+
+
+def test_lint_repository_is_clean(capsys):
+    """The shipped tree lints clean through the real CLI entry point."""
+    assert main(["lint", "src", "tests"]) == 0
+
+
+# -- --sanitize plumbing through the CLI --------------------------------------
+
+def test_run_scenario_with_sanitize(tmp_path, capsys):
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="pipelined", horizon=600,
+             params={"n": 2, "addresses": 16},
+             traffic={"kind": "renewal", "load": 0.7}).dump(path)
+    rc = main(["run", str(path), "--sanitize"])
+    assert rc == 0
+    assert "one" in capsys.readouterr().out
+
+
+def test_run_sanitize_rejects_uninstrumented_arch(tmp_path, capsys):
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="wide", horizon=600,
+             params={"n": 2, "addresses": 16},
+             traffic={"kind": "renewal", "load": 0.7}).dump(path)
+    rc = main(["run", str(path), "--sanitize"])
+    assert rc == 2
+    assert "sanitize" in capsys.readouterr().err
+
+
+def test_pipelined_command_with_sanitize(capsys):
+    rc = main(["pipelined", "-n", "2", "--load", "0.6", "--cycles", "2000",
+               "--addresses", "32", "--sanitize"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sanitizer:" in out
+    assert "violations=0" in out.replace(" ", "")
+
+
+def test_simulate_command_with_sanitize(capsys):
+    rc = main(["simulate", "--arch", "shared", "-n", "4", "--load", "0.5",
+               "--slots", "1000", "--sanitize"])
+    assert rc == 0
+    assert "sanitizer:" in capsys.readouterr().out
