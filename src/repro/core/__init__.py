@@ -9,6 +9,11 @@
 
 from repro.core.arbiter import Priority, WaveArbiter, WriteRequest
 from repro.core.bank import BankConflictError, MemoryBank
+from repro.core.batchpath import (
+    DEFAULT_BATCH_CYCLES,
+    BatchPipelinedSwitch,
+    resolve_jit,
+)
 from repro.core.buffer_manager import BufferFullError, BufferManager
 from repro.core.bus import Bus, BusContentionError
 from repro.core.control import ControlPipeline, ControlWord, WaveOp
@@ -20,6 +25,7 @@ from repro.core.fastpath import (
 )
 from repro.core.latches import InputLatchRow, LatchOverrunError, OutputRegisterRow
 from repro.core.sources import (
+    BatchRenewalSource,
     PacketSink,
     PacketSource,
     RenewalPacketSource,
@@ -44,6 +50,10 @@ __all__ = [
     "DeadlineMissedError",
     "FastPipelinedSwitch",
     "FastPathUnsupportedError",
+    "BatchPipelinedSwitch",
+    "BatchRenewalSource",
+    "DEFAULT_BATCH_CYCLES",
+    "resolve_jit",
     "make_pipelined_switch",
     "WaveTracer",
     "WideMemorySwitch",

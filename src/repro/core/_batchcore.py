@@ -1,0 +1,429 @@
+"""Array-resident batch core: the optional JIT tier of the batch kernel.
+
+This module holds a numba-compilable reformulation of the batch kernel's
+dominant shape — single-quantum cut-through with telemetry off — working
+purely on ``int64`` scalars and numpy arrays: no tuples, dicts, deques or
+sets in the hot loop, so :func:`numba.njit` can compile it unchanged.
+
+Design contract (mirrors ``repro.core.batchpath``):
+
+* ``advance_window(switch, stop, ...)`` is a drop-in replacement for the
+  scalar engines.  It marshals the switch state into flat arrays, runs
+  :func:`_kernel` over the window, and writes the state back.
+* Consequences that involve Python containers are *logged*, not applied:
+  departures append to ``switch._pending_departures`` (replayed by
+  ``_flush`` in tail order, bit-identically), and unobstructed-set
+  add/discard events are replayed onto ``switch._unobstructed`` in kernel
+  order.  Equivalence with the scalar engines is therefore structural,
+  not approximate.
+* When numba is missing the same kernel runs uncompiled
+  (``NUMBA_AVAILABLE`` is False and :func:`njit` degrades to the identity
+  decorator): identical results, no hard dependency — just slower, which
+  callers surface as the ``"unavailable"`` JIT state.
+
+The kernel steps cycle by cycle (no idle skip): compiled, the plain loop
+is far cheaper than interpreter dispatch; uncompiled it is only used for
+equivalence testing and graceful fallback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, TypeVar
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.batchpath import BatchPipelinedSwitch
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+try:
+    from numba import njit as _numba_njit  # type: ignore[import-not-found]
+
+    NUMBA_AVAILABLE = True
+
+    def njit(func: F) -> F:
+        return _numba_njit(cache=True)(func)  # type: ignore[no-any-return]
+
+except ImportError:  # pragma: no cover - exercised when numba is absent
+
+    NUMBA_AVAILABLE = False
+
+    def njit(func: F) -> F:
+        return func
+
+
+@njit
+def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
+    t0: int,
+    stop: int,
+    n: int,
+    b: int,
+    w: int,
+    extra: int,
+    rtt: int,
+    free: int,
+    warmup: int,
+    next_uid: int,
+    rr_out: int,
+    rr_in: int,
+    busy_until: int,
+    due_mask: int,
+    draining: bool,
+    next_ok: np.ndarray,
+    out_credits: np.ndarray,
+    pend_uid: np.ndarray,
+    pend_dst: np.ndarray,
+    pend_arr: np.ndarray,
+    stream_end: np.ndarray,
+    q_uid: np.ndarray,
+    q_arr: np.ndarray,
+    q_winit: np.ndarray,
+    q_src: np.ndarray,
+    q_head: np.ndarray,
+    q_len: np.ndarray,
+    ret_cycle: np.ndarray,
+    ret_out: np.ndarray,
+    ret_n: int,
+    arr_c: np.ndarray,
+    arr_l: np.ndarray,
+    arr_d: np.ndarray,
+    dep_log: np.ndarray,
+    unob_uid: np.ndarray,
+    unob_op: np.ndarray,
+) -> tuple[int, int, int, int, int, int, int, int, int, int, int, int, int,
+           int, int, int, int, int, int, int]:
+    """Advance the switch to ``stop`` (or the drain point) on flat arrays.
+
+    Same phase order as the scalar engines: due consequences, arbitration
+    (urgent store override, round-robin read/cut-through pick, EDF plain
+    store), arrivals, drain check.  Departure-bearing waves and
+    unobstructed-set events are appended to the log arrays in decision
+    order; the Python wrapper replays them onto the canonical containers.
+    """
+    cap = q_uid.shape[1]
+    t = t0
+    ai = 0
+    ret_i = 0
+    n_arr = arr_c.shape[0]
+    offered = 0
+    accepted = 0
+    dropped = 0
+    idle = 0
+    deadline = 0
+    overruns = 0
+    write_waves = 0
+    ct_waves = 0
+    read_waves = 0
+    dep_n = 0
+    unob_n = 0
+    while t < stop:
+        # -- phase 0: due consequences of past departures ----------------
+        if due_mask:
+            for j in range(n):
+                if due_mask >> j & 1 and next_ok[j] <= t:
+                    free += 1
+                    due_mask &= ~(1 << j)
+        while ret_i < ret_n and ret_cycle[ret_i] <= t:
+            out_credits[ret_out[ret_i]] += 1
+            ret_i += 1
+        # -- phase 2: arbitration ----------------------------------------
+        started = False
+        wave = False
+        uid = -1
+        arr_q = 0
+        src = -1
+        pick = -1
+        best_i = -1
+        best_arr = 0
+        ct_dsts = 0
+        if free > 0:
+            for i in range(n):
+                if pend_uid[i] >= 0:
+                    a = pend_arr[i]
+                    if a < t:
+                        if best_i < 0 or a < best_arr:
+                            best_i = i
+                            best_arr = a
+                        ct_dsts |= 1 << pend_dst[i]
+        if best_i >= 0 and best_arr + b <= t:
+            # Urgent pending store: deadline override (§3.4).
+            deadline += 1
+            uid = pend_uid[best_i]
+            free -= 1
+            pend_uid[best_i] = -1
+            if best_arr >= warmup:
+                accepted += 1
+            j = pend_dst[best_i]
+            if next_ok[j] <= t and out_credits[j] != 0 and q_len[j] == 0:
+                rr_out = j + 1 if j + 1 < n else 0
+                arr_q = best_arr
+                src = best_i
+                ct_waves += 1
+                pick = j
+                wave = True
+            else:
+                rr_in = best_i + 1 if best_i + 1 < n else 0
+                slot = (q_head[j] + q_len[j]) % cap
+                q_uid[j, slot] = uid
+                q_arr[j, slot] = best_arr
+                q_winit[j, slot] = t
+                q_src[j, slot] = best_i
+                q_len[j] += 1
+                write_waves += 1
+                if t + w > busy_until:
+                    busy_until = t + w
+                started = True
+        else:
+            # Round-robin pick from rr_out: first output that is free and
+            # credited with either a queued packet (plain read) or an
+            # eligible cut-through candidate and an empty queue.
+            for d in range(n):
+                j = rr_out + d
+                if j >= n:
+                    j -= n
+                if next_ok[j] <= t and out_credits[j] != 0:
+                    if q_len[j] > 0:
+                        pick = j
+                        rr_out = j + 1 if j + 1 < n else 0
+                        head = q_head[j]
+                        uid = q_uid[j, head]
+                        arr_q = q_arr[j, head]
+                        src = q_src[j, head]
+                        q_head[j] = (head + 1) % cap
+                        q_len[j] -= 1
+                        read_waves += 1
+                        wave = True
+                        break
+                    if ct_dsts >> j & 1:
+                        # Cut-through: minimum-arrival (lowest-input tie)
+                        # eligible pend targeting j.
+                        pick = j
+                        rr_out = j + 1 if j + 1 < n else 0
+                        ci = -1
+                        ca = 0
+                        for i in range(n):
+                            if pend_uid[i] >= 0:
+                                a = pend_arr[i]
+                                if (a < t and pend_dst[i] == j
+                                        and (ci < 0 or a < ca)):
+                                    ci = i
+                                    ca = a
+                        uid = pend_uid[ci]
+                        free -= 1
+                        pend_uid[ci] = -1
+                        if ca >= warmup:
+                            accepted += 1
+                        arr_q = ca
+                        src = ci
+                        ct_waves += 1
+                        wave = True
+                        break
+            if not wave and best_i >= 0:
+                # Plain store: earliest deadline first, round-robin
+                # tie-break from rr_in.
+                sel = -1
+                sa = 0
+                for d in range(n):
+                    i = rr_in + d
+                    if i >= n:
+                        i -= n
+                    if pend_uid[i] >= 0:
+                        a = pend_arr[i]
+                        if a < t and (sel < 0 or a < sa):
+                            sel = i
+                            sa = a
+                rr_in = sel + 1 if sel + 1 < n else 0
+                uid = pend_uid[sel]
+                free -= 1
+                pend_uid[sel] = -1
+                if sa >= warmup:
+                    accepted += 1
+                j = pend_dst[sel]
+                slot = (q_head[j] + q_len[j]) % cap
+                q_uid[j, slot] = uid
+                q_arr[j, slot] = sa
+                q_winit[j, slot] = t
+                q_src[j, slot] = sel
+                q_len[j] += 1
+                write_waves += 1
+                if t + w > busy_until:
+                    busy_until = t + w
+                started = True
+        if wave:
+            # Shared consequence of a departure-bearing wave on ``pick``.
+            j = pick
+            tw = t + w
+            next_ok[j] = tw
+            due_mask |= 1 << j
+            if out_credits[j] >= 0:
+                out_credits[j] -= 1
+                ret_cycle[ret_n] = tw + rtt
+                ret_out[ret_n] = j
+                ret_n += 1
+            tail = tw + extra
+            if tail > busy_until:
+                busy_until = tail
+            dep_log[dep_n, 0] = tail
+            dep_log[dep_n, 1] = uid
+            dep_log[dep_n, 2] = arr_q
+            dep_log[dep_n, 3] = src
+            dep_log[dep_n, 4] = j
+            dep_log[dep_n, 5] = t
+            dep_n += 1
+            started = True
+        # -- phase 4: arrivals -------------------------------------------
+        while ai < n_arr and arr_c[ai] == t:
+            i = arr_l[ai]
+            d = arr_d[ai]
+            ai += 1
+            if pend_uid[i] >= 0:
+                if pend_arr[i] >= warmup:
+                    dropped += 1
+                overruns += 1
+                unob_uid[unob_n] = pend_uid[i]
+                unob_op[unob_n] = -1
+                unob_n += 1
+            uid = next_uid
+            next_uid += 1
+            stream_end[i] = t + w
+            pend_uid[i] = uid
+            pend_dst[i] = d
+            pend_arr[i] = t
+            if t >= warmup:
+                offered += 1
+                if next_ok[d] <= t + 1 and q_len[d] == 0:
+                    clear = True
+                    for k in range(n):
+                        if k != i and pend_uid[k] >= 0 and pend_dst[k] == d:
+                            clear = False
+                            break
+                    if clear:
+                        unob_uid[unob_n] = uid
+                        unob_op[unob_n] = 1
+                        unob_n += 1
+        if draining:
+            empty = True
+            for j in range(n):
+                if pend_uid[j] >= 0 or q_len[j] > 0:
+                    empty = False
+                    break
+            if empty:
+                t += 1
+                break
+        if not started:
+            idle += 1
+        t += 1
+    return (t, free, next_uid, rr_out, rr_in, busy_until, due_mask, ret_i,
+            ret_n, offered, accepted, dropped, idle, deadline, overruns,
+            write_waves, ct_waves, read_waves, dep_n, unob_n)
+
+
+def advance_window(
+    switch: "BatchPipelinedSwitch",
+    stop: int,
+    arr_c: list[int],
+    arr_l: list[int],
+    arr_d: list[int],
+    draining: bool = False,
+) -> None:
+    """Marshal switch state to arrays, run :func:`_kernel`, write back."""
+    t0 = switch.cycle
+    n = switch._n
+    window = stop - t0
+    if window <= 0:
+        return
+    addresses = switch.config.addresses
+    next_ok = np.asarray(switch.next_wave_ok, dtype=np.int64)
+    out_credits = np.asarray(switch._out_credits, dtype=np.int64)
+    pend_uid = np.asarray(switch._pend_uid, dtype=np.int64)
+    pend_dst = np.asarray(switch._pend_dst, dtype=np.int64)
+    pend_arr = np.asarray(switch._pend_arr, dtype=np.int64)
+    stream_end = np.asarray(switch._stream_end, dtype=np.int64)
+    cap = max(addresses, 1)
+    q_uid = np.zeros((n, cap), dtype=np.int64)
+    q_arr = np.zeros((n, cap), dtype=np.int64)
+    q_winit = np.zeros((n, cap), dtype=np.int64)
+    q_src = np.zeros((n, cap), dtype=np.int64)
+    q_head = np.zeros(n, dtype=np.int64)
+    q_len = np.zeros(n, dtype=np.int64)
+    for j, q in enumerate(switch._queues):
+        for slot, (uid, arr, winit, src) in enumerate(q):
+            q_uid[j, slot] = uid
+            q_arr[j, slot] = arr
+            q_winit[j, slot] = winit
+            q_src[j, slot] = src
+        q_len[j] = len(q)
+    old_returns = len(switch._credit_returns)
+    ret_cap = old_returns + window + 1
+    ret_cycle = np.zeros(ret_cap, dtype=np.int64)
+    ret_out = np.zeros(ret_cap, dtype=np.int64)
+    for k, (cyc, j) in enumerate(switch._credit_returns):
+        ret_cycle[k] = cyc
+        ret_out[k] = j
+    ac = np.asarray(arr_c, dtype=np.int64)
+    al = np.asarray(arr_l, dtype=np.int64)
+    ad = np.asarray(arr_d, dtype=np.int64)
+    dep_log = np.zeros((window + 1, 6), dtype=np.int64)
+    unob_cap = 2 * len(arr_c) + 1
+    unob_uid = np.zeros(unob_cap, dtype=np.int64)
+    unob_op = np.zeros(unob_cap, dtype=np.int64)
+    (t, free, next_uid, rr_out, rr_in, busy_until, due_mask, ret_i, ret_n,
+     offered, accepted, dropped, idle, deadline, overruns, write_waves,
+     ct_waves, read_waves, dep_n, unob_n) = _kernel(
+        t0, stop, n, switch._b, switch._w, switch._extra,
+        switch.config.downstream_rtt, switch._free, switch.stats.warmup,
+        switch._next_uid, switch._rr_out, switch._rr_in, switch._busy_until,
+        switch._core_due_mask, draining, next_ok, out_credits, pend_uid,
+        pend_dst, pend_arr, stream_end, q_uid, q_arr, q_winit, q_src,
+        q_head, q_len, ret_cycle, ret_out, old_returns, ac, al, ad,
+        dep_log, unob_uid, unob_op,
+    )
+    # -- write back ---------------------------------------------------------
+    switch.next_wave_ok[:] = next_ok.tolist()
+    switch._out_credits[:] = out_credits.tolist()
+    switch._pend_uid[:] = pend_uid.tolist()
+    switch._pend_dst[:] = pend_dst.tolist()
+    switch._pend_arr[:] = pend_arr.tolist()
+    switch._stream_end[:] = stream_end.tolist()
+    for j in range(n):
+        q = deque()
+        head = int(q_head[j])
+        for s in range(int(q_len[j])):
+            slot = (head + s) % cap
+            q.append((int(q_uid[j, slot]), int(q_arr[j, slot]),
+                      int(q_winit[j, slot]), int(q_src[j, slot])))
+        switch._queues[j] = q
+    switch._credit_returns.clear()
+    for k in range(ret_i, ret_n):
+        switch._credit_returns.append((int(ret_cycle[k]), int(ret_out[k])))
+    unobstructed = switch._unobstructed
+    for k in range(unob_n):
+        if unob_op[k] > 0:
+            unobstructed.add(int(unob_uid[k]))
+        else:
+            unobstructed.discard(int(unob_uid[k]))
+    pending_append = switch._pending_departures.append
+    for k in range(dep_n):
+        pending_append((int(dep_log[k, 0]), int(dep_log[k, 1]),
+                        int(dep_log[k, 2]), int(dep_log[k, 3]),
+                        int(dep_log[k, 4]), int(dep_log[k, 5])))
+    switch._free = free
+    switch._next_uid = next_uid
+    switch._rr_out = rr_out
+    switch._rr_in = rr_in
+    switch._busy_until = busy_until
+    switch._core_due_mask = due_mask
+    switch.idle_cycles += idle
+    switch.deadline_overrides += deadline
+    switch.overrun_drops += overruns
+    switch.write_waves += write_waves
+    switch.cut_through_waves += ct_waves
+    switch.plain_read_waves += read_waves
+    stats = switch.stats
+    stats.offered += offered
+    stats.accepted += accepted
+    stats.dropped += dropped
+    switch.cycle = t
+    stats.horizon = t

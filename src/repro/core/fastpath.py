@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -58,6 +59,9 @@ from repro.telemetry import (
     Telemetry,
 )
 
+if TYPE_CHECKING:
+    from repro.core.batchpath import BatchPipelinedSwitch
+
 # Column layout of the per-packet record array.
 _ARRIVAL, _WRITE_INIT, _SRC, _DST = range(4)
 
@@ -65,6 +69,44 @@ _ARRIVAL, _WRITE_INIT, _SRC, _DST = range(4)
 class FastPathUnsupportedError(ConfigError):
     """The fast kernel does not model this configuration; use the checked
     :class:`~repro.core.switch.PipelinedSwitch` instead."""
+
+
+def reject_unsupported(kernel: str, reason: str) -> FastPathUnsupportedError:
+    """Uniform refuse-don't-approximate error for the derived kernels.
+
+    Both the wave-level and the batch kernel trade generality for speed;
+    any configuration they do not replicate *exactly* must be refused, not
+    approximated.  Routing every refusal through this helper keeps the
+    message shape (and the exception type tests rely on) identical across
+    kernels and unsupported-config branches.
+    """
+    return FastPathUnsupportedError(
+        f"{kernel} does not model this configuration: {reason} — "
+        f"run it on the checked PipelinedSwitch"
+    )
+
+
+def ensure_wave_kernel_supported(
+    kernel: str, config: PipelinedSwitchConfig, source: PacketSource
+) -> None:
+    """Unsupported-config branches shared by the wave and batch kernels."""
+    if source.n_out != config.n:
+        raise reject_unsupported(
+            kernel,
+            f"source targets {source.n_out} outputs, switch has {config.n}",
+        )
+    if source.packet_words != config.packet_words:
+        raise reject_unsupported(
+            kernel,
+            f"source packets are {source.packet_words} words, switch needs "
+            f"{config.packet_words} (pipeline depth)",
+        )
+    if config.priority is not Priority.READS_FIRST:
+        raise reject_unsupported(
+            kernel,
+            f"only the paper's READS_FIRST arbitration is modelled; "
+            f"{config.priority} is an ablation policy",
+        )
 
 
 class FastPipelinedSwitch(SwitchTelemetryMixin):
@@ -88,21 +130,7 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         telemetry: Telemetry | None = None,
         sanitizer: Sanitizer | None = None,
     ) -> None:
-        if source.n_out != config.n:
-            raise ConfigError(
-                f"source targets {source.n_out} outputs, switch has {config.n}"
-            )
-        if source.packet_words != config.packet_words:
-            raise ConfigError(
-                f"source packets are {source.packet_words} words, switch "
-                f"needs {config.packet_words} (pipeline depth)"
-            )
-        if config.priority is not Priority.READS_FIRST:
-            raise FastPathUnsupportedError(
-                f"fast path models only the paper's READS_FIRST arbitration; "
-                f"{config.priority} is an ablation policy — run it on the "
-                f"checked PipelinedSwitch"
-            )
+        ensure_wave_kernel_supported("fast path", config, source)
         self.config = config
         self.source = source
         n = config.n
@@ -559,13 +587,21 @@ def make_pipelined_switch(
     fast: bool = False,
     telemetry: Telemetry | None = None,
     sanitizer: Sanitizer | None = None,
-) -> "PipelinedSwitch | FastPipelinedSwitch":
-    """Build the checked model or, with ``fast=True``, the wave-level kernel.
+    kernel: str | None = None,
+    batch_cycles: int | None = None,
+    jit: bool | None = None,
+) -> "PipelinedSwitch | FastPipelinedSwitch | BatchPipelinedSwitch":
+    """Build one of the three kernels: checked, wave-level fast, or batch.
 
-    The two produce bit-identical statistics on the same seed; the fast
-    kernel skips every structural-invariant check (see module docstring).
-    Pass a :class:`~repro.telemetry.Telemetry` bundle to collect metrics
-    and lifecycle events — the streams are equivalent between kernels.
+    Select with ``kernel`` (``"checked"`` / ``"fast"`` / ``"batch"``); the
+    legacy ``fast=True`` flag is equivalent to ``kernel="fast"``.  All
+    three produce bit-identical statistics on the same seed; the fast
+    kernel skips every structural-invariant check (see module docstring)
+    and the batch kernel additionally advances in cycle batches over an
+    arrival tape (``batch_cycles`` sets the window; ``jit`` opts into the
+    numba array core when available).  Pass a
+    :class:`~repro.telemetry.Telemetry` bundle to collect metrics and
+    lifecycle events — the streams are equivalent between kernels.
 
     Every invalid configuration — bad :class:`PipelinedSwitchConfig`
     fields, a source whose shape does not match the switch, or an
@@ -574,8 +610,31 @@ def make_pipelined_switch(
     bare assertion or type-specific exception, so callers can surface one
     clean error instead of a traceback.
     """
-    if fast:
+    if kernel is None:
+        kernel = "fast" if fast else "checked"
+    if kernel == "batch":
+        from repro.core.batchpath import BatchPipelinedSwitch, DEFAULT_BATCH_CYCLES
+
+        return BatchPipelinedSwitch(
+            config, source, telemetry=telemetry, sanitizer=sanitizer,
+            batch_cycles=DEFAULT_BATCH_CYCLES if batch_cycles is None
+            else batch_cycles,
+            jit=jit,
+        )
+    if batch_cycles is not None:
+        raise ConfigError(
+            f"batch_cycles only applies to the batch kernel, not {kernel!r}"
+        )
+    if jit:
+        raise ConfigError(
+            f"jit only applies to the batch kernel, not {kernel!r}"
+        )
+    if kernel == "fast":
         return FastPipelinedSwitch(config, source, telemetry=telemetry,
                                    sanitizer=sanitizer)
+    if kernel != "checked":
+        raise ConfigError(
+            f"unknown kernel {kernel!r}: expected 'checked', 'fast' or 'batch'"
+        )
     return PipelinedSwitch(config, source, telemetry=telemetry,
                            sanitizer=sanitizer)

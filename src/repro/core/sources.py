@@ -16,7 +16,7 @@ from functools import lru_cache
 import numpy as np
 
 
-from repro.sim.rng import make_rng
+from repro.sim.rng import make_rng, spawn
 from repro.traffic.base import TrafficSource
 
 _LCG_MULT = 6364136223846793005
@@ -108,6 +108,189 @@ class RenewalPacketSource(PacketSource):
         if self.rng.random() < self.start_prob:
             return int(self.rng.integers(0, self.n_out))
         return None
+
+
+class BatchRenewalSource(PacketSource):
+    """Renewal traffic with *independent per-link streams*, batch-drawable.
+
+    Statistically the same §3.4 geometric-gap process as
+    :class:`RenewalPacketSource`, but each link owns a private generator
+    pair (one stream for the start/idle coin flips, one for destinations),
+    spawned deterministically from ``seed``.  That independence is what
+    makes the process *batchable*: a whole window of per-link poll outcomes
+    can be drawn as one numpy block, and — because a numpy ``Generator``
+    produces bit-identical values whether drawn one at a time or as an
+    array — the block-drawn tape equals the scalar per-cycle poll sequence
+    exactly.  The batch kernel consumes the tape; the checked and fast
+    kernels call :meth:`maybe_start` per cycle; on the same seed all three
+    see the identical arrival process.
+
+    Note the streams *differ* from ``RenewalPacketSource`` at equal seed
+    (that source interleaves every link through one shared generator, which
+    is inherently order-sensitive and unbatchable); equivalence tests
+    compare kernels, each given its own ``BatchRenewalSource``.
+    """
+
+    def __init__(
+        self,
+        n_out: int,
+        packet_words: int,
+        load: float,
+        width_bits: int = 16,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_out, packet_words, width_bits)
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        self.load = load
+        b = packet_words
+        denom = b - (b - 1) * load
+        self.start_prob = load / denom if denom > 0 else 1.0
+        children = spawn(make_rng(seed), 2 * n_out)
+        self._u_rng = children[0::2]  # per-link start coin flips
+        self._d_rng = children[1::2]  # per-link destination draws
+        # Tape state, per link: poll outcomes drawn but not yet consumed.
+        # ``_tape_cycle[i]`` is the absolute cycle of each buffered poll
+        # (a hit makes the link busy for exactly ``packet_words`` cycles,
+        # a miss re-polls next cycle, so the schedule is self-determined);
+        # ``_tape_dst[i]`` holds the destination, or -1 for a miss.
+        self._tape_cycle: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(n_out)
+        ]
+        self._tape_dst: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(n_out)
+        ]
+        self._next_draw = [0] * n_out  # cycle of each link's first undrawn poll
+
+    # -- scalar protocol (checked / fast kernels) ---------------------------
+    def maybe_start(self, cycle: int, link: int) -> int | None:
+        if self._u_rng[link].random() < self.start_prob:
+            return int(self._d_rng[link].integers(0, self.n_out))
+        return None
+
+    # -- batch protocol (batch kernel) --------------------------------------
+    #: minimum polls drawn per extension — tiny batch windows would otherwise
+    #: pay a fresh numpy block-draw per link per window; over-drawn outcomes
+    #: stay buffered on the tape and the stream order is unchanged (a
+    #: Generator yields the same sequence however the draws are blocked)
+    _LOOKAHEAD = 4096
+
+    def _extend(self, link: int, horizon: int) -> None:
+        """Draw polls for ``link`` until its tape covers cycles < horizon."""
+        start = self._next_draw[link]
+        if horizon - start <= 0:
+            return
+        count = max(horizon - start, self._LOOKAHEAD)
+        # Every poll advances the link by at least one cycle, so ``count``
+        # draws are guaranteed to reach ``horizon`` (hits overshoot and
+        # stay buffered for later windows).  Drawing the coin flips as one
+        # block and the destinations as one block consumes both streams in
+        # exactly the scalar per-poll order.
+        u = self._u_rng[link].random(count)
+        hits = u < self.start_prob
+        w = self.packet_words
+        steps = np.where(hits, np.int64(w), np.int64(1))
+        cycles = start + np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(steps[:-1]))
+        )
+        dsts = np.full(count, -1, dtype=np.int64)
+        n_hits = int(np.count_nonzero(hits))
+        if n_hits:
+            dsts[hits] = self._d_rng[link].integers(0, self.n_out, size=n_hits)
+        self._tape_cycle[link] = np.concatenate((self._tape_cycle[link], cycles))
+        self._tape_dst[link] = np.concatenate((self._tape_dst[link], dsts))
+        self._next_draw[link] = start + int(steps.sum())
+
+    def batch_arrivals(
+        self, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Packet starts with head cycle in ``[start, stop)``.
+
+        Returns ``(cycles, links, dsts)`` sorted by ``(cycle, link)`` — the
+        order the kernels' arrival phase visits the input links.  Consumed
+        windows must be requested in increasing, non-overlapping cycle
+        order (each poll outcome is handed out exactly once).
+        """
+        all_c: list[np.ndarray] = []
+        all_l: list[np.ndarray] = []
+        all_d: list[np.ndarray] = []
+        for link in range(self.n_out):
+            self._extend(link, stop)
+            tape_c = self._tape_cycle[link]
+            cut = int(np.searchsorted(tape_c, stop, side="left"))
+            if cut:
+                c = tape_c[:cut]
+                d = self._tape_dst[link][:cut]
+                self._tape_cycle[link] = tape_c[cut:]
+                self._tape_dst[link] = self._tape_dst[link][cut:]
+                hit = d >= 0
+                if hit.any():
+                    all_c.append(c[hit])
+                    all_l.append(np.full(int(hit.sum()), link, dtype=np.int64))
+                    all_d.append(d[hit])
+        if not all_c:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        cycles = np.concatenate(all_c)
+        links = np.concatenate(all_l)
+        dsts = np.concatenate(all_d)
+        order = np.lexsort((links, cycles))
+        return cycles[order], links[order], dsts[order]
+
+    #: windows at or below this many cycles skip the numpy slice/lexsort
+    #: round trip — a degenerate window (batch_cycles=1) holds at most a
+    #: few polls per link, where scalar extraction is an order of magnitude
+    #: cheaper than array surgery
+    _SCALAR_WINDOW = 64
+
+    def window_arrivals(
+        self, start: int, stop: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """:meth:`batch_arrivals` as plain lists, cheap for tiny windows.
+
+        Same consumption contract and the same ``(cycle, link)`` order;
+        the two paths may be mixed freely across windows.
+        """
+        if stop - start > self._SCALAR_WINDOW:
+            c, l, d = self.batch_arrivals(start, stop)
+            return c.tolist(), l.tolist(), d.tolist()
+        items: list[tuple[int, int, int]] = []
+        next_draw = self._next_draw
+        tapes_c, tapes_d = self._tape_cycle, self._tape_dst
+        for link in range(self.n_out):
+            if next_draw[link] < stop:
+                self._extend(link, stop)
+            tape_c = tapes_c[link]
+            if not tape_c.shape[0] or tape_c[0] >= stop:
+                continue
+            tape_d = tapes_d[link]
+            k, m = 0, tape_c.shape[0]
+            while k < m and tape_c[k] < stop:
+                if tape_d[k] >= 0:
+                    items.append((int(tape_c[k]), link, int(tape_d[k])))
+                k += 1
+            self._tape_cycle[link] = tape_c[k:]
+            self._tape_dst[link] = tape_d[k:]
+        items.sort()
+        return ([c for c, _, _ in items], [li for _, li, _ in items],
+                [d for _, _, d in items])
+
+    def resume_idle(self, cycle: int) -> None:
+        """Re-anchor every link's tape to poll next at ``cycle``.
+
+        After a muted drain no link polled (no stream was consumed), and
+        all links are idle, so each link's first still-buffered outcome
+        applies at ``cycle`` — only the cycle labels shift.
+        """
+        for link in range(self.n_out):
+            tape_c = self._tape_cycle[link]
+            first = int(tape_c[0]) if tape_c.size else self._next_draw[link]
+            delta = cycle - first
+            if delta <= 0:
+                continue
+            if tape_c.size:
+                self._tape_cycle[link] = tape_c + delta
+            self._next_draw[link] += delta
 
 
 class SaturatingSource(PacketSource):

@@ -60,9 +60,10 @@ _REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 _FACTORY_OPTION_KEYWORDS = frozenset({"edges"})
 
 #: word-level kernels that must expose the harness ``run`` interface (DRC131)
+#: and be reachable from the scenario registry (DRC121)
 _WORD_KERNELS = frozenset({
-    "PipelinedSwitch", "FastPipelinedSwitch", "WideMemorySwitch",
-    "SplitPipelinedBuffer",
+    "PipelinedSwitch", "FastPipelinedSwitch", "BatchPipelinedSwitch",
+    "WideMemorySwitch", "SplitPipelinedBuffer",
 })
 
 
@@ -479,9 +480,12 @@ class RegistryCoverageRule(Rule):
              and m.path.name == "registry.py"),
             None,
         )
-        switch_classes = _class_index(mods, "switches")
-        if registry is None or not switch_classes:
+        if registry is None:
             return  # lint scope does not cover both sides of the contract
+        yield from self._check_word_kernels(mods, registry)
+        switch_classes = _class_index(mods, "switches")
+        if not switch_classes:
+            return
         kernels = {
             name for name in _slotted_subclasses(switch_classes)
             if not name.startswith("_")
@@ -512,6 +516,43 @@ class RegistryCoverageRule(Rule):
                         f"which does not exist",
                     )
                     break
+
+    def _check_word_kernels(
+        self, mods: list[LintModule], registry: LintModule
+    ) -> Iterator[Violation]:
+        """Every word-level kernel (``_WORD_KERNELS``) defined under
+        ``repro.core`` must be reachable from the registry — referenced by
+        name in ``registry.py`` itself or in a ``make_pipelined_switch``
+        factory (the registry builders' front door for the pipelined
+        kernel tiers)."""
+        core_classes = _class_index(mods, "core")
+        word_kernels = _WORD_KERNELS & set(core_classes)
+        if not word_kernels:
+            return
+        reachable: set[str] = set()
+        trees = [registry.tree]
+        for mod in mods:
+            if not (mod.in_src and mod.package == "core"):
+                continue
+            trees.extend(
+                node for node in ast.walk(mod.tree)
+                if isinstance(node, ast.FunctionDef)
+                and node.name == "make_pipelined_switch"
+            )
+        for tree in trees:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Name):
+                    reachable.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    reachable.add(node.attr)
+        for name in sorted(word_kernels - reachable):
+            mod = _module_of_class(mods, "core", name)
+            yield self._hit(
+                mod if mod is not None else registry, core_classes[name],
+                f"word-level kernel {name} is not reachable from "
+                f"repro.scenario.registry (directly or through "
+                f"make_pipelined_switch); register an architecture for it",
+            )
 
 
 @register

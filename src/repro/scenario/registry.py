@@ -37,7 +37,7 @@ SLOTTED, WORD, FABRIC, NETWORK = "slotted", "word", "fabric", "network"
 #: traffic kinds each architecture family understands
 TRAFFIC_KINDS: dict[str, tuple[str, ...]] = {
     SLOTTED: ("uniform", "bursty", "hotspot", "rotating", "permutation"),
-    WORD: ("renewal", "saturating"),
+    WORD: ("renewal", "renewal_tape", "saturating"),
     FABRIC: ("uniform", "bursty", "hotspot"),
     NETWORK: ("uniform",),
 }
@@ -217,6 +217,19 @@ def _build_pipelined_fast(p, source, telemetry, sanitizer=None):
                                  telemetry=telemetry, sanitizer=sanitizer)
 
 
+#: batch-kernel extras on top of the pipelined config params
+_PIPELINED_BATCH_PARAMS: Mapping[str, Any] = {
+    **_PIPELINED_PARAMS, "batch_cycles": None, "jit": None,
+}
+
+
+def _build_pipelined_batch(p, source, telemetry, sanitizer=None):
+    from repro.core import make_pipelined_switch
+    return make_pipelined_switch(_pipelined_config(p), source, kernel="batch",
+                                 telemetry=telemetry, sanitizer=sanitizer,
+                                 batch_cycles=p["batch_cycles"], jit=p["jit"])
+
+
 def _wide_config(p):
     from repro.core import WideSwitchConfig
     return WideSwitchConfig(n=p["n"], addresses=p["addresses"],
@@ -245,6 +258,7 @@ def _build_split(p, source, telemetry, sanitizer=None):
 _WORD_BUILDERS = {
     "pipelined": (_pipelined_config, _build_pipelined),
     "pipelined_fast": (_pipelined_config, _build_pipelined_fast),
+    "pipelined_batch": (_pipelined_config, _build_pipelined_batch),
     "wide": (_wide_config, _build_wide),
     "split": (_split_config, _build_split),
 }
@@ -260,6 +274,13 @@ _register(ArchitectureDef(
     description="wave-level fast kernel (bit-identical statistics)",
     params=_PIPELINED_PARAMS, build=_WORD_BUILDERS["pipelined_fast"],
     telemetry_ok=True, drain_ok=True, sanitize_ok=True,
+))
+_register(ArchitectureDef(
+    name="pipelined_batch", kind=WORD,
+    description="array-batched kernel (bit-identical statistics in "
+                "cycle batches; optional numba JIT)",
+    params=_PIPELINED_BATCH_PARAMS, build=_WORD_BUILDERS["pipelined_batch"],
+    telemetry_ok=True, drain_ok=True, sanitize_ok=False,
 ))
 _register(ArchitectureDef(
     name="wide", kind=WORD,
@@ -422,10 +443,15 @@ def _slotted_source(traffic: TrafficSpec, n: int, seed: int):
 
 
 def _word_source(traffic: TrafficSpec, cfg, seed: int):
-    from repro.core import RenewalPacketSource, SaturatingSource
+    from repro.core import BatchRenewalSource, RenewalPacketSource, SaturatingSource
 
     if traffic.kind == "renewal":
         return RenewalPacketSource(
+            n_out=cfg.n, packet_words=cfg.packet_words, load=traffic.load,
+            width_bits=cfg.width_bits, seed=seed,
+        )
+    if traffic.kind == "renewal_tape":
+        return BatchRenewalSource(
             n_out=cfg.n, packet_words=cfg.packet_words, load=traffic.load,
             width_bits=cfg.width_bits, seed=seed,
         )

@@ -172,6 +172,37 @@ def test_drc121_registry_references_missing_kernel(tmp_path):
     assert not any("_Internal" in v.message for v in result.violations)
 
 
+def test_drc121_word_kernel_not_reachable(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/core/batchpath.py": (
+            "class BatchPipelinedSwitch:\n"
+            "    def run(self): pass\n"
+        ),
+        "src/repro/scenario/registry.py": "REGISTRY = {}\n",
+    })
+    result = run_lint(["src"], root=root)
+    assert any(
+        v.code == "DRC121" and "BatchPipelinedSwitch" in v.message
+        for v in result.violations
+    )
+
+
+def test_drc121_word_kernel_reachable_via_factory_clean(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/core/batchpath.py": (
+            "class BatchPipelinedSwitch:\n"
+            "    def run(self): pass\n"
+        ),
+        "src/repro/core/fastpath.py": (
+            "def make_pipelined_switch(cfg, src, kernel=None):\n"
+            "    from repro.core.batchpath import BatchPipelinedSwitch\n"
+            "    return BatchPipelinedSwitch(cfg, src)\n"
+        ),
+        "src/repro/scenario/registry.py": "REGISTRY = {}\n",
+    })
+    assert run_lint(["src"], root=root).violations == []
+
+
 def test_drc131_slotted_switch_missing_hooks(tmp_path):
     root = _tree(tmp_path, {
         "src/repro/switches/models.py": (

@@ -33,6 +33,9 @@ def scenario_for(arch: str, **overrides) -> Scenario:
         "network": dict(params={"k": 4, "dims": 2, "message_flits": 8},
                         traffic={"kind": "uniform", "load": 0.3}, horizon=300),
     }[adef.kind]
+    if arch == "pipelined_batch":
+        # the batch kernel consumes arrival tapes, not per-cycle polls
+        base["traffic"] = {"kind": "renewal_tape", "load": 0.6}
     base.update(name=f"t-{arch}", arch=arch, seeds=[1])
     base.update(overrides)
     return Scenario(**base)
