@@ -559,6 +559,16 @@ def _add_scenario_flags(p: argparse.ArgumentParser, default_jobs) -> None:
     p.add_argument("--horizon", type=int, default=None, metavar="SLOTS",
                    help="override every scenario's horizon (warmup reverts "
                         "to the horizon//5 default); for smoke runs")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="CYCLES",
+                   help="snapshot each word-level kernel to "
+                        "DIR/checkpoints/<name>-seed<seed>.ckpt.json every "
+                        "CYCLES cycles (requires --out; see repro.checkpoint)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse finished per-job results and mid-run snapshots "
+                        "from --out: only the missing (scenario, seed) cells "
+                        "run, and the merged results.json is bit-identical "
+                        "to an uninterrupted sweep")
     _add_sanitize_flag(p)
 
 
@@ -609,7 +619,9 @@ def cmd_run(args) -> int:
         scenarios = [dataclasses.replace(sc, horizon=args.horizon, warmup=None)
                      for sc in scenarios]
     runner = ScenarioRunner(jobs=args.jobs, out_dir=args.out,
-                            sanitize=args.sanitize)
+                            sanitize=args.sanitize,
+                            checkpoint_every=args.checkpoint_every,
+                            resume=args.resume)
     results = runner.run(scenarios)
     print(format_table(
         ["scenario", "arch", "seed", "offered", "delivered", "dropped", "loss"],
@@ -697,6 +709,14 @@ def main(argv: list[str] | None = None) -> int:
         # structured message and a distinct exit code
         print(f"repro: sanitizer: {exc}", file=sys.stderr)
         return 3
+    except KeyboardInterrupt:
+        # an interrupted sweep already flushed its finished cells and the
+        # results.partial.json manifest (see ScenarioRunner); exit with the
+        # conventional SIGINT code so wrappers can tell "killed" from
+        # "failed" and re-run with --resume
+        print("repro: interrupted (finished cells and results.partial.json "
+              "are on disk; re-run with --resume)", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -193,6 +193,9 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         self.overrun_drops = 0
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
+        # Cycle at which a finite source (trace replay) ran dry with the
+        # switch empty; ``None`` while the source can still produce packets.
+        self.trace_ended_at: int | None = None
         self.attach_telemetry(telemetry)
         self.attach_sanitizer(sanitizer)
 
@@ -218,9 +221,25 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         return self.stats.delivered * self._w / (cycles * self._n)
 
     def run(self, cycles: int) -> SwitchStats:
-        """Advance the switch by ``cycles`` clock cycles."""
+        """Advance the switch by ``cycles`` clock cycles.
+
+        Mirrors the checked kernel: a finite source (trace replay) ends the
+        run as soon as it is exhausted and the switch has emptied, stamping
+        :attr:`trace_ended_at`.  The check runs before each tick so a
+        resumed, already-finished run burns zero cycles.
+        """
         tick = self.tick
-        for _ in range(cycles):
+        exhausted = getattr(self.source, "exhausted", None)
+        if exhausted is None:
+            for _ in range(cycles):
+                tick()
+            return self.stats
+        stop = self.cycle + cycles
+        while self.cycle < stop:
+            if exhausted() and self.is_empty():
+                if self.trace_ended_at is None:
+                    self.trace_ended_at = self.cycle
+                break
             tick()
         return self.stats
 

@@ -52,6 +52,15 @@ def deterministic_payload(uid: int, size: int, width_bits: int = 16) -> tuple[in
     memoized and the per-word LCG loop is replaced by a single vectorized
     jump over precomputed coefficients (bit-identical to the scalar
     recurrence; ``tests/core/test_sources.py`` pins the values).
+
+    The memo is **deliberately process-global and snapshot-safe**: the
+    function is pure (the payload depends only on ``(uid, size,
+    width_bits)``), so cache warmth can never change a value — running two
+    simulations back-to-back in one process, clearing the cache mid-run, or
+    restoring a checkpoint into a cold process all yield bit-identical
+    payloads.  :mod:`repro.checkpoint` relies on this to store only packet
+    uids and re-derive payloads on restore
+    (``tests/checkpoint/test_payload_cache.py`` pins the contract).
     """
     mask = (1 << width_bits) - 1
     x0 = (uid * 2654435761 + 0x9E3779B9) & 0xFFFFFFFF

@@ -216,6 +216,9 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         # quantity the paper's (p/4)(n-1)/n formula approximates.
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
+        # Cycle at which a finite source (trace replay) ran dry with the
+        # switch empty; ``None`` while the source can still produce packets.
+        self.trace_ended_at: int | None = None
         self.attach_telemetry(telemetry)
         self.attach_sanitizer(sanitizer)
 
@@ -233,8 +236,26 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         self.stats.warmup = cycles
 
     def run(self, cycles: int) -> SwitchStats:
-        """Advance the switch by ``cycles`` clock cycles."""
-        for _ in range(cycles):
+        """Advance the switch by ``cycles`` clock cycles.
+
+        Finite sources (trace replay) end the run early: once the source
+        reports :meth:`~repro.core.sources.TracePacketSource.exhausted` and
+        the switch has emptied, further cycles cannot change any statistic,
+        so the loop stops and stamps :attr:`trace_ended_at`.  The check runs
+        *before* each tick, so resuming a finished run burns zero cycles and
+        checkpoint/restore stays bit-identical.
+        """
+        exhausted = getattr(self.source, "exhausted", None)
+        if exhausted is None:
+            for _ in range(cycles):
+                self.tick()
+            return self.stats
+        stop = self.cycle + cycles
+        while self.cycle < stop:
+            if exhausted() and self.is_empty():
+                if self.trace_ended_at is None:
+                    self.trace_ended_at = self.cycle
+                break
             self.tick()
         return self.stats
 

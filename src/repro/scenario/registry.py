@@ -37,7 +37,7 @@ SLOTTED, WORD, FABRIC, NETWORK = "slotted", "word", "fabric", "network"
 #: traffic kinds each architecture family understands
 TRAFFIC_KINDS: dict[str, tuple[str, ...]] = {
     SLOTTED: ("uniform", "bursty", "hotspot", "rotating", "permutation"),
-    WORD: ("renewal", "renewal_tape", "saturating"),
+    WORD: ("renewal", "renewal_tape", "saturating", "trace"),
     FABRIC: ("uniform", "bursty", "hotspot"),
     NETWORK: ("uniform",),
 }
@@ -461,6 +461,23 @@ def _word_source(traffic: TrafficSpec, cfg, seed: int):
             n_out=cfg.n, packet_words=cfg.packet_words, dests=dests,
             width_bits=cfg.width_bits, seed=seed,
         )
+    if traffic.kind == "trace":
+        from repro.core import TracePacketSource
+
+        raw = traffic.params.get("schedule")
+        if not isinstance(raw, dict):
+            raise ScenarioError(
+                "trace traffic needs params.schedule: a table mapping input "
+                "link -> [[earliest_cycle, dst], ...]"
+            )
+        schedule = {
+            int(link): [(int(c), int(d)) for c, d in items]
+            for link, items in raw.items()
+        }
+        return TracePacketSource(
+            n_out=cfg.n, packet_words=cfg.packet_words, schedule=schedule,
+            width_bits=cfg.width_bits,
+        )
     raise AssertionError(traffic.kind)
 
 
@@ -570,6 +587,29 @@ def prepare(
                     sanitizer=sanitizer)
 
 
+def prepared_from_switch(scenario: Scenario, seed: int, switch: Any) -> Prepared:
+    """Wrap a checkpoint-restored kernel as a :class:`Prepared`.
+
+    The restored switch carries its own telemetry/sanitizer attachments;
+    this re-associates them with the scenario so :func:`execute_prepared`
+    runs the remaining ``horizon - switch.cycle`` cycles and summarizes
+    exactly like an uninterrupted run.  Only word-level architectures can
+    be checkpointed, so only they can be wrapped.
+    """
+    adef = validate_scenario(scenario)
+    if adef.kind != WORD:
+        raise ScenarioError(
+            f"scenario {scenario.name!r}: checkpoint/restore covers "
+            f"word-level kernels only; {scenario.arch!r} is a {adef.kind} "
+            f"architecture"
+        )
+    telemetry = switch.telemetry if switch._tel else None
+    sanitizer = switch.sanitizer if switch._san else None
+    return Prepared(scenario=scenario, seed=seed, kind=adef.kind,
+                    switch=switch, source=None, telemetry=telemetry,
+                    sanitizer=sanitizer)
+
+
 def _execute_slotted(prep: Prepared) -> dict[str, Any]:
     sc, sw = prep.scenario, prep.switch
     if sc.traffic.batched:
@@ -583,7 +623,11 @@ def _execute_slotted(prep: Prepared) -> dict[str, Any]:
 
 def _execute_word(prep: Prepared) -> dict[str, Any]:
     sc, sw = prep.scenario, prep.switch
-    sw.run(sc.horizon)
+    # Checkpoint-restored kernels start mid-horizon: run only the remainder
+    # so a resumed execution lands on the same final cycle.
+    remaining = sc.horizon - sw.cycle
+    if remaining > 0:
+        sw.run(remaining)
     if sc.drain:
         sw.drain()
     stats = {
@@ -595,6 +639,10 @@ def _execute_word(prep: Prepared) -> dict[str, Any]:
         "ct_latency_mean": sw.ct_latency.mean,
         "cycles": sw.cycle,
     }
+    if getattr(sw, "trace_ended_at", None) is not None:
+        # Finite trace ran dry before the horizon (see satellite bugfix):
+        # report the truncation instead of silently billing idle cycles.
+        stats["trace_ended_at"] = sw.trace_ended_at
     if hasattr(sw, "deadline_overrides"):  # the two pipelined kernels
         stats.update(
             total_latency_mean=sw.total_latency.mean,
@@ -662,6 +710,20 @@ def run_scenario(
     result.
     """
     prep = prepare(scenario, seed, telemetry, sanitize=sanitize)
+    return execute_prepared(prep, out_dir=out_dir)
+
+
+def execute_prepared(
+    prep: Prepared, out_dir: str | Path | None = None
+) -> dict[str, Any]:
+    """Execute a :class:`Prepared` simulation and export its artifacts.
+
+    The tail half of :func:`run_scenario`, split out so checkpoint-aware
+    callers (``repro run --resume``, the sweep runner's warmup-prefix
+    forks) can execute a restored switch through the exact same
+    summarize-and-export path as a cold one.
+    """
+    scenario = prep.scenario
     result = prep.execute()
     if out_dir is not None and prep.telemetry is not None and prep.telemetry.enabled:
         from repro.telemetry.export import write_events_jsonl, write_metrics_text

@@ -9,20 +9,59 @@ deterministically: the merged list is ordered by job submission order
 global packet-uid counter (see :func:`repro.scenario.registry.prepare`),
 so per-job results are independent of scheduling too.
 
-With ``out_dir`` set, every job writes ``<name>-seed<seed>.json`` and the
-merge writes ``results.json``; telemetry artifacts (events JSONL, metrics
-text) are written by the worker that owns the bundle.
+With ``out_dir`` set, every job writes ``<name>-seed<seed>.json`` *as soon
+as it completes* and the merge writes ``results.json``; telemetry
+artifacts (events JSONL, metrics text) are written by the worker that owns
+the bundle.
+
+**Interrupt safety.** A ``KeyboardInterrupt`` (or SIGTERM) mid-sweep no
+longer loses the completed cells: per-job artifacts are already on disk,
+and the runner additionally writes a ``results.partial.json`` manifest —
+completed results in deterministic submission order plus the ``missing``
+(name, seed) pairs — before re-raising.  Re-running the same sweep with
+``resume=True`` loads the finished cells from their per-job files and runs
+only the missing ones; the merged output is bit-identical to an
+uninterrupted run (results are deterministic per job, and the merge is
+ordered by submission, not completion).
+
+**Checkpointing.** ``checkpoint_every=k`` snapshots every word-level
+kernel to ``<out_dir>/checkpoints/<name>-seed<seed>.ckpt.json`` each ``k``
+cycles (see :mod:`repro.checkpoint`); an interrupted cell resumes mid-run
+from its snapshot instead of from cycle 0.  Grids whose cells share an
+identical warmup prefix (same config, traffic, seed and explicit warmup —
+differing only in name, horizon or drain) are detected automatically and
+run the warmup *once*: the group warms one kernel up, snapshots it in
+memory, and forks every member from that snapshot.  Restore is
+bit-identical, so forked results equal cold-start results exactly.
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro.scenario.registry import run_scenario, validate_scenario
+from repro.scenario.registry import (
+    WORD,
+    execute_prepared,
+    prepare,
+    prepared_from_switch,
+    run_scenario,
+    validate_scenario,
+)
 from repro.scenario.spec import Scenario, ScenarioError
+
+#: word-level architectures whose kernels repro.checkpoint can serialize
+CHECKPOINTABLE_ARCHS = frozenset(
+    {"pipelined", "pipelined_fast", "pipelined_batch"}
+)
+
+
+def _checkpoint_path(out_dir: str, name: str, seed: int) -> Path:
+    return Path(out_dir) / "checkpoints" / f"{name}-seed{seed}.ckpt.json"
 
 
 def _run_job(job: tuple[dict[str, Any], int, str | None, bool]) -> dict[str, Any]:
@@ -37,21 +76,111 @@ def _run_job(job: tuple[dict[str, Any], int, str | None, bool]) -> dict[str, Any
     return run_scenario(scenario, seed, out_dir=out_dir, sanitize=sanitize)
 
 
+def _run_job_checkpointed(
+    job: tuple[dict[str, Any], int, str, bool, int]
+) -> dict[str, Any]:
+    """Worker entry point for a periodically-checkpointed job.
+
+    Resumes from ``<out_dir>/checkpoints/<name>-seed<seed>.ckpt.json``
+    when it exists (skipping ``prepare()`` entirely — the snapshot carries
+    the packet-uid counter, RNG streams and all attachments), then runs in
+    ``every``-cycle steps, saving a snapshot after each.  The final
+    summary goes through the same :func:`execute_prepared` path as an
+    uninterrupted run, so the result is bit-identical.
+    """
+    from repro import checkpoint
+
+    scenario_dict, seed, out_dir, sanitize, every = job
+    scenario = Scenario.from_dict(scenario_dict)
+    ckpt = _checkpoint_path(out_dir, scenario.name, seed)
+    if ckpt.exists():
+        prep = prepared_from_switch(scenario, seed, checkpoint.restore(ckpt))
+    else:
+        prep = prepare(scenario, seed, sanitize=sanitize)
+    sw = prep.switch
+    while sw.cycle < scenario.horizon:
+        before = sw.cycle
+        sw.run(min(every, scenario.horizon - sw.cycle))
+        checkpoint.save(sw, ckpt)
+        if sw.cycle == before:
+            break  # finite trace ran dry; further cycles cannot change stats
+    return execute_prepared(prep, out_dir=out_dir)
+
+
+def _run_prefix_group(
+    payload: tuple[list[dict[str, Any]], int, str | None]
+) -> list[dict[str, Any]]:
+    """Worker entry point for a warmup-prefix fork group.
+
+    All members share config, traffic, seed and explicit warmup; they
+    differ only in name/horizon/drain.  Warm one kernel to the shared
+    warmup, snapshot it in memory, and fork every member from the
+    snapshot.  Because restore is bit-identical, each member's result
+    equals its cold-start result exactly.
+    """
+    from repro import checkpoint
+
+    member_dicts, seed, out_dir = payload
+    scenarios = [Scenario.from_dict(d) for d in member_dicts]
+    prefix = prepare(scenarios[0], seed)
+    prefix.switch.run(scenarios[0].effective_warmup)
+    doc = checkpoint.snapshot_switch(prefix.switch)
+    results = []
+    for sc in scenarios:
+        member = prepared_from_switch(sc, seed, checkpoint.restore_switch(doc))
+        results.append(execute_prepared(member, out_dir=out_dir))
+    return results
+
+
+def _run_task(task: tuple[str, Any]) -> list[dict[str, Any]]:
+    """Dispatch one task; always returns one result per covered job."""
+    kind, payload = task
+    if kind == "job":
+        return [_run_job(payload)]
+    if kind == "ckpt":
+        return [_run_job_checkpointed(payload)]
+    if kind == "group":
+        return _run_prefix_group(payload)
+    raise AssertionError(kind)
+
+
 class ScenarioRunner:
     """Run scenarios sequentially (``jobs=1``) or in parallel, same bits.
 
     ``sanitize=True`` attaches the :mod:`repro.drc` invariant sanitizer to
     every job (each worker gets its own — the sanitizer holds per-run
     state); a violation in any job raises out of :meth:`run`.
+
+    ``checkpoint_every=k`` snapshots checkpointable kernels every ``k``
+    cycles and ``resume=True`` reuses finished per-job results (and mid-run
+    snapshots) from ``out_dir`` — see the module docstring.  Both require
+    ``out_dir``.
     """
 
     def __init__(self, jobs: int = 1, out_dir: str | Path | None = None,
-                 sanitize: bool = False):
+                 sanitize: bool = False,
+                 checkpoint_every: int | None = None,
+                 resume: bool = False):
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ScenarioError(f"jobs must be an integer >= 1, got {jobs!r}")
+        if checkpoint_every is not None and (
+            not isinstance(checkpoint_every, int)
+            or isinstance(checkpoint_every, bool) or checkpoint_every < 1
+        ):
+            raise ScenarioError(
+                f"checkpoint_every must be an integer >= 1 (cycles), got "
+                f"{checkpoint_every!r}"
+            )
+        if (checkpoint_every is not None or resume) and out_dir is None:
+            raise ScenarioError(
+                "checkpoint_every/resume need out_dir: snapshots and per-job "
+                "results live there"
+            )
         self.jobs = jobs
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.sanitize = sanitize
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
 
     def run(self, scenarios: Scenario | Iterable[Scenario]) -> list[dict[str, Any]]:
         """Validate everything up front, run all (scenario, seed) jobs.
@@ -59,6 +188,8 @@ class ScenarioRunner:
         Returns one result dict per job in deterministic submission order.
         Raises :class:`ScenarioError` before running anything if any
         scenario is invalid or two jobs would collide on (name, seed).
+        On interrupt, writes ``results.partial.json`` (when ``out_dir`` is
+        set) and re-raises :class:`KeyboardInterrupt`.
         """
         if isinstance(scenarios, Scenario):
             scenarios = [scenarios]
@@ -73,22 +204,172 @@ class ScenarioRunner:
                     f"sanitizer hook sites; drop --sanitize or use a "
                     f"sanitize-capable architecture"
                 )
+            if self.checkpoint_every is not None and (
+                adef.kind != WORD or sc.arch not in CHECKPOINTABLE_ARCHS
+            ):
+                ok = sorted(CHECKPOINTABLE_ARCHS)
+                raise ScenarioError(
+                    f"scenario {sc.name!r}: --checkpoint-every needs a "
+                    f"checkpointable kernel; {sc.arch!r} is not one of "
+                    f"{', '.join(ok)}"
+                )
         jobs = self._job_list(scenarios)
         if self.out_dir is not None:
             self.out_dir.mkdir(parents=True, exist_ok=True)
-        out = str(self.out_dir) if self.out_dir is not None else None
-        payload = [(sc.to_dict(), seed, out, self.sanitize) for sc, seed in jobs]
-        if self.jobs == 1 or len(payload) == 1:
-            results = [_run_job(job) for job in payload]
-        else:
-            workers = min(self.jobs, len(payload))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                # executor.map preserves submission order — the merge is
-                # order-independent regardless of completion order.
-                results = list(pool.map(_run_job, payload))
+        results: list[dict[str, Any] | None] = [None] * len(jobs)
+        if self.resume:
+            for i, (sc, seed) in enumerate(jobs):
+                path = self.out_dir / f"{sc.name}-seed{seed}.json"
+                if path.exists():
+                    results[i] = json.loads(path.read_text())
+        pending = [i for i, r in enumerate(results) if r is None]
+        tasks = self._task_list(jobs, pending)
+        self._execute(tasks, jobs, results)
+        final = [r for r in results if r is not None]
+        assert len(final) == len(jobs)
         if self.out_dir is not None:
-            self._write_artifacts(results)
-        return results
+            merged = self.out_dir / "results.json"
+            merged.write_text(json.dumps(final, indent=2, allow_nan=False) + "\n")
+            partial = self.out_dir / "results.partial.json"
+            if partial.exists():
+                partial.unlink()  # the sweep is whole again
+        return final
+
+    # -- task construction ---------------------------------------------------
+
+    def _task_list(
+        self,
+        jobs: Sequence[tuple[Scenario, int]],
+        pending: Sequence[int],
+    ) -> list[tuple[tuple[str, Any], list[int]]]:
+        """Pending job indices -> (task, covered indices) list.
+
+        Jobs eligible for warmup-prefix forking are grouped (>= 2 members
+        sharing everything but name/horizon/drain); the rest become
+        singleton tasks, checkpointed when ``checkpoint_every`` is set.
+        """
+        out = str(self.out_dir) if self.out_dir is not None else None
+        groups: dict[tuple[int, str], list[int]] = {}
+        for i in pending:
+            sc, seed = jobs[i]
+            if self._forkable(sc):
+                body = {k: v for k, v in sc.to_dict().items()
+                        if k not in ("name", "horizon", "drain", "seeds")}
+                body["warmup"] = sc.effective_warmup
+                key = (seed, json.dumps(body, sort_keys=True))
+                groups.setdefault(key, []).append(i)
+        grouped: set[int] = set()
+        tasks: list[tuple[tuple[str, Any], list[int]]] = []
+        for (seed, _), members in sorted(groups.items(),
+                                         key=lambda kv: kv[1][0]):
+            if len(members) < 2:
+                continue
+            grouped.update(members)
+            payload = ([jobs[i][0].to_dict() for i in members], seed, out)
+            tasks.append((("group", payload), list(members)))
+        for i in pending:
+            if i in grouped:
+                continue
+            sc, seed = jobs[i]
+            if self.checkpoint_every is not None:
+                task = ("ckpt", (sc.to_dict(), seed, out, self.sanitize,
+                                 self.checkpoint_every))
+            else:
+                task = ("job", (sc.to_dict(), seed, out, self.sanitize))
+            tasks.append((task, [i]))
+        tasks.sort(key=lambda t: t[1][0])  # deterministic submission order
+        return tasks
+
+    def _forkable(self, sc: Scenario) -> bool:
+        """Can this scenario fork from a shared warmup-prefix snapshot?"""
+        if self.sanitize or self.checkpoint_every is not None:
+            return False  # keep per-job checkpoint/sanitizer semantics simple
+        if sc.arch not in CHECKPOINTABLE_ARCHS:
+            return False
+        if validate_scenario(sc).kind != WORD:
+            return False
+        warmup = sc.effective_warmup
+        return warmup > 0 and sc.horizon >= warmup
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(
+        self,
+        tasks: list[tuple[tuple[str, Any], list[int]]],
+        jobs: Sequence[tuple[Scenario, int]],
+        results: list[dict[str, Any] | None],
+    ) -> None:
+        """Run tasks, flushing each job's artifact the moment it finishes.
+
+        SIGTERM is mapped to :class:`KeyboardInterrupt`; on either, the
+        partial-results manifest is written before re-raising, so a killed
+        sweep keeps every finished cell.
+        """
+        previous = None
+        in_main = threading.current_thread() is threading.main_thread()
+        if in_main:
+            def _terminate(signum, frame):
+                raise KeyboardInterrupt
+            previous = signal.signal(signal.SIGTERM, _terminate)
+        try:
+            if self.jobs == 1 or len(tasks) <= 1:
+                for task, indices in tasks:
+                    task_results = _run_task(task)
+                    self._record(indices, task_results, results)
+            else:
+                workers = min(self.jobs, len(tasks))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {pool.submit(_run_task, task): indices
+                               for task, indices in tasks}
+                    try:
+                        outstanding = set(futures)
+                        while outstanding:
+                            done, outstanding = wait(
+                                outstanding, return_when=FIRST_COMPLETED
+                            )
+                            for fut in done:
+                                self._record(futures[fut], fut.result(),
+                                             results)
+                    except BaseException:
+                        for fut in futures:
+                            fut.cancel()
+                        raise
+        except KeyboardInterrupt:
+            self._write_partial_manifest(jobs, results)
+            raise
+        finally:
+            if in_main and previous is not None:
+                signal.signal(signal.SIGTERM, previous)
+
+    def _record(
+        self,
+        indices: Sequence[int],
+        task_results: Sequence[dict[str, Any]],
+        results: list[dict[str, Any] | None],
+    ) -> None:
+        assert len(indices) == len(task_results)
+        for i, result in zip(indices, task_results):
+            results[i] = result
+            if self.out_dir is not None:
+                path = (self.out_dir
+                        / f"{result['scenario']}-seed{result['seed']}.json")
+                path.write_text(
+                    json.dumps(result, indent=2, allow_nan=False) + "\n"
+                )
+
+    def _write_partial_manifest(
+        self,
+        jobs: Sequence[tuple[Scenario, int]],
+        results: Sequence[dict[str, Any] | None],
+    ) -> None:
+        if self.out_dir is None:
+            return
+        completed = [r for r in results if r is not None]
+        missing = [[sc.name, seed]
+                   for (sc, seed), r in zip(jobs, results) if r is None]
+        manifest = {"completed": completed, "missing": missing}
+        path = self.out_dir / "results.partial.json"
+        path.write_text(json.dumps(manifest, indent=2, allow_nan=False) + "\n")
 
     @staticmethod
     def _job_list(scenarios: Sequence[Scenario]) -> list[tuple[Scenario, int]]:
@@ -106,11 +387,3 @@ class ScenarioRunner:
                 seen.add(key)
                 jobs.append((sc, seed))
         return jobs
-
-    def _write_artifacts(self, results: list[dict[str, Any]]) -> None:
-        assert self.out_dir is not None
-        for result in results:
-            path = self.out_dir / f"{result['scenario']}-seed{result['seed']}.json"
-            path.write_text(json.dumps(result, indent=2, allow_nan=False) + "\n")
-        merged = self.out_dir / "results.json"
-        merged.write_text(json.dumps(results, indent=2, allow_nan=False) + "\n")

@@ -14,16 +14,44 @@ Two granularities are used throughout the reproduction:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
-_packet_ids = itertools.count()
+
+class _PacketIdCounter:
+    """``itertools.count`` with readable position, for checkpoint/restore."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def __iter__(self) -> "_PacketIdCounter":
+        return self
+
+
+_packet_ids = _PacketIdCounter()
 
 
 def reset_packet_ids() -> None:
     """Restart the global packet id counter (used by tests for determinism)."""
     global _packet_ids
-    _packet_ids = itertools.count()
+    _packet_ids = _PacketIdCounter()
+
+
+def packet_id_state() -> int:
+    """The next uid the global counter will hand out (checkpointing)."""
+    return _packet_ids._next
+
+
+def set_packet_id_state(value: int) -> None:
+    """Restore the global packet id counter to ``value`` (checkpointing)."""
+    global _packet_ids
+    _packet_ids = _PacketIdCounter(value)
 
 
 @dataclass(slots=True)

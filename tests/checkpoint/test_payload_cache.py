@@ -1,0 +1,66 @@
+"""Regression: the deterministic_payload memo is process-global and pure.
+
+The module-level ``lru_cache`` on :func:`repro.core.sources.
+deterministic_payload` persists across runs in one process.  That is safe
+*only* because the function is pure — cache warmth must never change a
+value, so restore-in-same-process and restore-in-fresh-process are
+indistinguishable.  These tests pin that contract.
+"""
+
+import json
+
+from repro.checkpoint import fingerprint, restore_switch, snapshot_switch
+from repro.core import PipelinedSwitch, PipelinedSwitchConfig, RenewalPacketSource
+from repro.core.sources import deterministic_payload
+from repro.sim.packet import reset_packet_ids
+
+
+def _build(seed=21):
+    reset_packet_ids()
+    cfg = PipelinedSwitchConfig(n=4, addresses=32)
+    return PipelinedSwitch(cfg, RenewalPacketSource(4, cfg.packet_words,
+                                                    load=0.8, seed=seed))
+
+
+def test_cache_is_pure_across_clear():
+    values = {(uid, size): deterministic_payload(uid, size)
+              for uid in range(64) for size in (8, 16)}
+    deterministic_payload.cache_clear()
+    for (uid, size), expected in values.items():
+        assert deterministic_payload(uid, size) == expected
+
+
+def test_cache_state_never_leaks_into_results():
+    """A warm cache from an unrelated run, or a cache cleared mid-run,
+    yields bit-identical statistics (same fingerprint)."""
+    ref = _build()
+    ref.run(400)
+    baseline = fingerprint(ref)
+
+    # warm the cache with a *different* workload, then re-run
+    other = _build(seed=77)
+    other.run(300)
+    again = _build()
+    again.run(400)
+    assert fingerprint(again) == baseline
+
+    # clear the cache in the middle of a run
+    cleared = _build()
+    cleared.run(150)
+    deterministic_payload.cache_clear()
+    cleared.run(250)
+    assert fingerprint(cleared) == baseline
+
+
+def test_restore_into_cold_cache_is_identical():
+    """Snapshots store uids, not payloads — restore re-derives them, and a
+    cold cache (the fresh-process case) reproduces every word exactly."""
+    sw = _build()
+    sw.run(167)
+    doc = json.loads(json.dumps(snapshot_switch(sw)))
+    deterministic_payload.cache_clear()  # simulate a fresh process
+    resumed = restore_switch(doc)
+    resumed.run(233)
+    ref = _build()
+    ref.run(400)
+    assert fingerprint(resumed) == fingerprint(ref)
