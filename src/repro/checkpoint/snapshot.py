@@ -375,19 +375,42 @@ def _telemetry_doc(tel: Telemetry | None) -> dict | None:
             raise CheckpointUnsupportedError(
                 f"unknown metric type {type(m).__name__} in registry"
             )
-    return {
+    doc: dict = {
         "sample_interval": tel.sample_interval,
         "samples": [[c, occ] for c, occ in tel.samples],
         "events": [[e.cycle, e.kind, e.uid, e.src, e.dst, e.cause, e.aux]
                    for e in tel.events.events],
         "metrics": metrics,
     }
+    from repro.obs.sampling import SampledEventLog
+    if isinstance(tel.events, SampledEventLog):
+        doc["events_sampling"] = {"rate": _ff(tel.events.rate),
+                                  "seed": tel.events.seed}
+    if tel.series is not None:
+        state = tel.series.state()
+        # Wall stamps round-trip (so a restored ring exports the same rows)
+        # but are stripped from fingerprint_doc — they are not state.
+        state["walls"] = [_ff(w) for w in state["walls"]]
+        doc["series"] = state
+    return doc
 
 
 def _telemetry_from(doc: dict | None) -> Telemetry | None:
     if doc is None:
         return None
-    tel = Telemetry.on(doc["sample_interval"])
+    from repro.obs.sampling import SampledEventLog
+    from repro.obs.series import SeriesRing
+    events = None
+    sampling = doc.get("events_sampling")
+    if sampling is not None:
+        events = SampledEventLog(_df(sampling["rate"]), int(sampling["seed"]))
+    series = None
+    series_doc = doc.get("series")
+    if series_doc is not None:
+        series = SeriesRing.from_state(
+            {**series_doc, "walls": [_df(w) for w in series_doc["walls"]]}
+        )
+    tel = Telemetry.on(doc["sample_interval"], events=events, series=series)
     tel.samples = [(int(c), int(occ)) for c, occ in doc["samples"]]
     emit = tel.events.emit
     for cycle, kind, uid, src, dst, cause, aux in doc["events"]:
@@ -970,6 +993,11 @@ def fingerprint_doc(switch: Any) -> dict:
     if tel is not None:
         tel_doc = _telemetry_doc(tel)
         tel_doc["events"] = sorted(tel_doc["events"])
+        series_doc = tel_doc.get("series")
+        if series_doc is not None:
+            # Wall stamps are observation time, not simulation state.
+            tel_doc["series"] = {k: v for k, v in series_doc.items()
+                                 if k != "walls"}
     return {
         "cycle": switch.cycle,
         "collectors": _collectors_doc(switch, sort_hists=True),

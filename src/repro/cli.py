@@ -569,6 +569,12 @@ def _add_scenario_flags(p: argparse.ArgumentParser, default_jobs) -> None:
                         "from --out: only the missing (scenario, seed) cells "
                         "run, and the merged results.json is bit-identical "
                         "to an uninterrupted sweep")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve a Prometheus /metrics endpoint on "
+                        "127.0.0.1:PORT while the run executes: sweep "
+                        "progress, live per-cell registries (--jobs 1), and "
+                        "finished-cell metrics aggregated across workers "
+                        "(0 = ephemeral port; watch with 'repro top PORT')")
     _add_sanitize_flag(p)
 
 
@@ -618,11 +624,23 @@ def cmd_run(args) -> int:
     if args.horizon is not None:
         scenarios = [dataclasses.replace(sc, horizon=args.horizon, warmup=None)
                      for sc in scenarios]
+    server = observer = None
+    if args.serve_metrics is not None:
+        from repro.obs.server import serve_run_metrics
+
+        server, observer = serve_run_metrics(args.serve_metrics,
+                                             out_dir=args.out)
+        print(f"metrics: {server.url}", file=sys.stderr)
     runner = ScenarioRunner(jobs=args.jobs, out_dir=args.out,
                             sanitize=args.sanitize,
                             checkpoint_every=args.checkpoint_every,
-                            resume=args.resume)
-    results = runner.run(scenarios)
+                            resume=args.resume,
+                            observer=observer)
+    try:
+        results = runner.run(scenarios)
+    finally:
+        if server is not None:
+            server.stop()
     print(format_table(
         ["scenario", "arch", "seed", "offered", "delivered", "dropped", "loss"],
         _scenario_result_rows(results),
@@ -631,6 +649,34 @@ def cmd_run(args) -> int:
     if args.out:
         print(f"results -> {runner.out_dir / 'results.json'}")
     return 0
+
+
+def _add_top(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a repro /metrics endpoint "
+             "(throughput, queue-depth heatmap, drop taxonomy, sweep progress)",
+    )
+    p.add_argument("target", nargs="?", default="9109", metavar="PORT|URL",
+                   help="port on localhost, or a full /metrics URL "
+                        "(default %(default)s)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh interval (default %(default)s)")
+    p.add_argument("--once", action="store_true",
+                   help="print one dashboard and exit (no screen clearing)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="exit after N refreshes (default: until Ctrl-C)")
+    p.set_defaults(func=cmd_top)
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    target = args.target
+    if target.isdigit():
+        target = f"http://127.0.0.1:{target}/metrics"
+    return run_top(target, interval=args.interval, once=args.once,
+                   iterations=args.iterations)
 
 
 def _add_lint(sub: argparse._SubParsersAction) -> None:
@@ -687,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sizing(sub)
     _add_run(sub)
     _add_sweep(sub)
+    _add_top(sub)
     _add_lint(sub)
     return parser
 

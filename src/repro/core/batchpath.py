@@ -311,7 +311,12 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         self._wave_log: list[tuple[int, int, int, int, int, int]] = []
         self._drop_log: list[tuple[int, int, int, int, int, int]] = []
         self._arrive_log: list[tuple[int, int, int, int]] = []
-        self._sample_log: list[tuple[int, int, tuple[int, ...]]] = []
+        # (cycle, free, out_credits, queue_depths, drop_log_prefix): the
+        # prefix is len(_drop_log) at the sampling instant, so _flush can
+        # reconstruct the drop taxonomy visible at each sample.
+        self._sample_log: list[
+            tuple[int, int, tuple[int, ...], tuple[int, ...], int]
+        ] = []
         self._pending_departures: deque[tuple[int, int, int, int, int, int]] = deque()
         # Lean-engine due deque: (cycle, output) events at which a CT/read
         # wave's output becomes usable again and its address releases (both
@@ -353,6 +358,9 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
     def _telemetry_state(self) -> tuple[int, int, list[int]]:
         return (self.config.addresses - self._free, self._free,
                 list(self._credits))
+
+    def _queue_depths(self) -> list[int]:
+        return [len(q) for q in self._queues]
 
     # -- public API -----------------------------------------------------------
     @property
@@ -512,7 +520,9 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                 free_due.popleft()
                 free += quanta
             if t == next_sample:
-                sample_log.append((t, free, tuple(out_credits)))
+                sample_log.append((t, free, tuple(out_credits),
+                                   tuple(len(q) for q in queues),
+                                   len(self._drop_log)))
                 next_sample += tel_iv
             # -- phase 1: departures are log-derived (see _flush) --------------
             # -- phase 2: arbitration ------------------------------------------
@@ -1271,6 +1281,9 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
             for src, count in enumerate(arrival_counts):
                 if count:
                     self._m_arrivals[src].inc(count)
+            # Taxonomy state before this flush's drops land; the per-sample
+            # prefix walk below replays it to each sampling instant.
+            sample_tax = dict(self._drop_tax)
             for t, uid, src, dst, cause, _arr in self._drop_log:
                 self._emit_drop(t, src, uid, dst, _DROP_CAUSE[cause])
             for t0, kind, uid, src, dst, _arr in self._wave_log:
@@ -1282,15 +1295,27 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
             if deadline_now > self._deadline_flushed:
                 self._m_deadline.inc(deadline_now - self._deadline_flushed)
             addresses = self.config.addresses
-            for t, free, oc in self._sample_log:
+            series = self.telemetry.series
+            drop_log = self._drop_log
+            drop_ptr = 0
+            for t, free, oc, depths, n_drops in self._sample_log:
                 occ = addresses - free
                 self.telemetry.sample(t, occ)
                 self._m_occupancy.set(occ)
                 self._m_free.set(free)
+                self._m_cycle.set(t)
+                for gauge, depth in zip(self._m_qdepth, depths):
+                    gauge.set(depth)
                 for gauge, credits in zip(self._m_in_credits, self._credits):
                     gauge.set(credits)
                 for gauge, credits in zip(self._m_out_credits, oc):
                     gauge.set(credits)
+                if series is not None:
+                    while drop_ptr < n_drops:
+                        cause = _DROP_CAUSE[drop_log[drop_ptr][4]]
+                        sample_tax[cause] = sample_tax.get(cause, 0) + 1
+                        drop_ptr += 1
+                    series.record(t, occ, free, depths, sample_tax)
         self._idle_flushed = self.idle_cycles
         self._deadline_flushed = self.deadline_overrides
         # Departure-bearing waves (READ / WRITE_CT) schedule a completion at

@@ -203,6 +203,9 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         return (self.config.addresses - self._free, self._free,
                 list(self._credits))
 
+    def _queue_depths(self) -> list[int]:
+        return [len(q) for q in self._queues]
+
     # -- public API -------------------------------------------------------------
     @property
     def warmup(self) -> int:
@@ -239,6 +242,8 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
             if exhausted() and self.is_empty():
                 if self.trace_ended_at is None:
                     self.trace_ended_at = self.cycle
+                    if self._tel:
+                        self._emit_trace_ended(self.cycle)
                 break
             tick()
         return self.stats

@@ -28,6 +28,43 @@ from repro.telemetry import (
 )
 
 
+#: Exposition help text, registered once per attach so every exporter and
+#: the live /metrics endpoint emit the same ``# HELP`` lines.
+METRIC_HELP: dict[str, str] = {
+    "repro_port_arrivals_total":
+        "Packets whose head word reached the input latch, per input port.",
+    "repro_port_departures_total":
+        "Packets whose tail word left the output link, per output port.",
+    "repro_port_drops_total":
+        "Packets lost, per input port and drop-taxonomy cause.",
+    "repro_waves_total":
+        "Wave chains admitted, per wave operation (write/write_ct/read).",
+    "repro_idle_cycles_total":
+        "Cycles in which no wave chain was admitted.",
+    "repro_deadline_overrides_total":
+        "Write waves admitted under the b-cycle latch deadline (paper 3.5).",
+    "repro_bank_accesses_total":
+        "Single-ported bank accesses attributed at wave admission, per bank.",
+    "repro_buffer_occupancy":
+        "Buffer words in use at the last telemetry sample.",
+    "repro_buffer_free_addresses":
+        "Free buffer addresses at the last telemetry sample.",
+    "repro_ct_latency_cycles":
+        "Cut-through latency (head-out minus head-in) in cycles.",
+    "repro_input_credits":
+        "Input credit level at the last telemetry sample, per input port.",
+    "repro_downstream_credits":
+        "Downstream credit level at the last telemetry sample, per output.",
+    "repro_port_queue_depth":
+        "Packets stored awaiting their read wave, per output port.",
+    "repro_cycle":
+        "Simulation cycle at the last telemetry sample.",
+    "repro_trace_ended_cycle":
+        "Cycle at which a trace source exhausted and the run terminated "
+        "early; absent unless trace replay ended.",
+}
+
+
 class SwitchTelemetryMixin:
     """Collection sites shared by both pipelined-memory kernels."""
 
@@ -60,6 +97,8 @@ class SwitchTelemetryMixin:
             return
         m = self.telemetry.metrics
         n, b = self.config.n, self.config.depth
+        for fam, text in METRIC_HELP.items():
+            m.describe(fam, text)
         self._m_arrivals = [m.counter("repro_port_arrivals_total", port=i)
                             for i in range(n)]
         self._m_departures = [m.counter("repro_port_departures_total", port=j)
@@ -81,6 +120,24 @@ class SwitchTelemetryMixin:
                               for i in range(n)]
         self._m_out_credits = [m.gauge("repro_downstream_credits", port=j)
                                for j in range(n)]
+        self._m_qdepth = [m.gauge("repro_port_queue_depth", port=j)
+                          for j in range(n)]
+        self._m_cycle = m.gauge("repro_cycle")
+        # Running drop taxonomy (cause -> count), kept alongside the lazily
+        # created counters so the series sampler reads it in O(causes).
+        # Rebuilt from the registry on re-attach (checkpoint restore), where
+        # the counters already carry the pre-snapshot counts.
+        tax: dict[str, int] = {}
+        for metric in m:
+            if metric.name == "repro_port_drops_total":
+                cause = dict(metric.labels).get("cause", "")
+                tax[cause] = tax.get(cause, 0) + metric.value
+        self._drop_tax = tax
+
+    def _queue_depths(self) -> list[int]:
+        """Stored-awaiting-read packet count per output port at the
+        start-of-cycle sampling instant."""
+        raise NotImplementedError
 
     # -- kernel-provided view ------------------------------------------------
     def _telemetry_state(self) -> tuple[int, int, list[int]]:
@@ -106,6 +163,7 @@ class SwitchTelemetryMixin:
 
     def _emit_drop(self, t: int, i: int, uid: int, dst: int, cause: str) -> None:
         self.telemetry.events.emit(t, DROP, uid, src=i, dst=dst, cause=cause)
+        self._drop_tax[cause] = self._drop_tax.get(cause, 0) + 1
         key = (i, cause)
         counter = self._m_drops.get(key)
         if counter is None:
@@ -115,12 +173,27 @@ class SwitchTelemetryMixin:
             self._m_drops[key] = counter
         counter.inc()
 
+    def _emit_trace_ended(self, t: int) -> None:
+        """Surface trace-replay exhaustion on the metrics registry.
+
+        Created lazily at the stamping site, not at attach, so runs that
+        never exhaust a trace expose no NaN-valued gauge.
+        """
+        self.telemetry.metrics.gauge("repro_trace_ended_cycle").set(t)
+
     def _sample_telemetry(self, t: int) -> None:
         occ, free, in_credits = self._telemetry_state()
         self.telemetry.sample(t, occ)
         self._m_occupancy.set(occ)
         self._m_free.set(free)
+        self._m_cycle.set(t)
+        depths = self._queue_depths()
+        for gauge, depth in zip(self._m_qdepth, depths):
+            gauge.set(depth)
         for gauge, credits in zip(self._m_in_credits, in_credits):
             gauge.set(credits)
         for gauge, credits in zip(self._m_out_credits, self._out_credits):
             gauge.set(credits)
+        series = self.telemetry.series
+        if series is not None:
+            series.record(t, occ, free, depths, self._drop_tax)

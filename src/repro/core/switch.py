@@ -226,6 +226,9 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         return (self.buffer.occupancy, self.buffer.free_count,
                 [s.credits for s in self._inputs])
 
+    def _queue_depths(self) -> list[int]:
+        return [len(q) for q in self.buffer.queues]
+
     # -- public API -------------------------------------------------------------
     @property
     def warmup(self) -> int:
@@ -255,6 +258,8 @@ class PipelinedSwitch(SwitchTelemetryMixin):
             if exhausted() and self.is_empty():
                 if self.trace_ended_at is None:
                     self.trace_ended_at = self.cycle
+                    if self._tel:
+                        self._emit_trace_ended(self.cycle)
                 break
             self.tick()
         return self.stats

@@ -1,0 +1,189 @@
+"""``repro top``: a live terminal dashboard over the ``/metrics`` endpoint.
+
+Scrapes a Prometheus endpoint (ours or any other serving the families
+:mod:`repro.core.instrumentation` registers), derives rates from scrape
+deltas, and renders:
+
+* throughput — cycles/s and departures/s per cell, from counter/gauge
+  deltas between consecutive scrapes;
+* an occupancy + per-port queue-depth heatmap (unicode block ramp);
+* the drop taxonomy (per-cause totals and rates);
+* sweep progress (cells done/total/resumed/inflight) when present.
+
+Plain-refresh rendering (clear + redraw with ANSI when the output is a
+tty) rather than curses: it works over ssh, in CI logs and under pipes,
+and ``--once`` turns it into a scrape-and-print for scripting/tests.
+The module is pure data-in/text-out apart from the scrape and the clock,
+so tests feed it canned family sets.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs import promparse
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def scrape(url: str, timeout: float = 5.0) -> list[promparse.Family]:
+    """Fetch and parse one exposition document."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return promparse.parse(resp.read().decode("utf-8", "replace"))
+
+
+def _bar(value: float, peak: float, width: int = 1) -> str:
+    """Map value/peak onto the block ramp (peak<=0 renders empty)."""
+    if peak <= 0 or value <= 0:
+        return BLOCKS[0] * width
+    frac = min(value / peak, 1.0)
+    return BLOCKS[round(frac * (len(BLOCKS) - 1))] * width
+
+
+class _Snapshot:
+    """One scrape, indexed for the renderer."""
+
+    def __init__(self, families: list[promparse.Family], wall: float) -> None:
+        self.wall = wall
+        self.by_name = {f.name: f for f in families}
+
+    def value(self, family: str, default: float | None = None,
+              **labels: str) -> float | None:
+        fam = self.by_name.get(family)
+        if fam is None:
+            return default
+        for s in fam.samples:
+            if all(s.labels.get(k) == v for k, v in labels.items()):
+                return s.value
+        return default
+
+    def grouped(self, family: str, key: str) -> dict[tuple[str, str], float]:
+        """(cell, key-label) -> value; cell '' when unlabelled."""
+        fam = self.by_name.get(family)
+        out: dict[tuple[str, str], float] = {}
+        if fam is None:
+            return out
+        for s in fam.samples:
+            out[(s.labels.get("cell", ""), s.labels.get(key, ""))] = s.value
+        return out
+
+    def cells(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for fam in self.by_name.values():
+            for s in fam.samples:
+                if "cell" in s.labels:
+                    seen.setdefault(s.labels["cell"], None)
+        return list(seen) or [""]
+
+
+def render_dashboard(now: _Snapshot, prev: _Snapshot | None) -> str:
+    """The dashboard text for one scrape (pure function of two snapshots)."""
+    lines: list[str] = []
+    dt = (now.wall - prev.wall) if prev is not None else 0.0
+
+    total = now.value("repro_sweep_cells_total")
+    if total is not None:
+        done = now.value("repro_sweep_cells_done", 0.0) or 0.0
+        resumed = now.value("repro_sweep_cells_resumed", 0.0) or 0.0
+        inflight = now.value("repro_sweep_cells_inflight", 0.0) or 0.0
+        width = 30
+        filled = round(width * done / total) if total else 0
+        lines.append(
+            f"sweep  [{'#' * filled}{'.' * (width - filled)}] "
+            f"{done:.0f}/{total:.0f} cells"
+            f"  ({resumed:.0f} resumed, {inflight:.0f} in flight)"
+        )
+        lines.append("")
+
+    header = (f"{'cell':<28} {'cycle':>12} {'cycles/s':>10} "
+              f"{'departs/s':>10} {'occ':>6} {'drops':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in now.cells():
+        sel = {"cell": cell} if cell else {}
+        cycle = now.value("repro_cycle", **sel)
+        if cycle is None:
+            continue
+        occ = now.value("repro_buffer_occupancy", 0.0, **sel) or 0.0
+        departs = sum(v for (c, _), v in
+                      now.grouped("repro_port_departures_total", "port").items()
+                      if c == cell)
+        drops = sum(v for (c, _), v in
+                    now.grouped("repro_port_drops_total", "cause").items()
+                    if c == cell)
+        cps = dps = float("nan")
+        if prev is not None and dt > 0:
+            pcycle = prev.value("repro_cycle", **sel)
+            if pcycle is not None:
+                cps = (cycle - pcycle) / dt
+            pdeparts = sum(v for (c, _), v in
+                           prev.grouped("repro_port_departures_total",
+                                        "port").items() if c == cell)
+            dps = (departs - pdeparts) / dt
+        name = cell or "(run)"
+        cps_txt = f"{cps:,.0f}" if cps == cps else "-"
+        dps_txt = f"{dps:,.0f}" if dps == dps else "-"
+        lines.append(f"{name:<28.28} {cycle:>12,.0f} {cps_txt:>10} "
+                     f"{dps_txt:>10} {occ:>6.0f} {drops:>8.0f}")
+
+        depths = now.grouped("repro_port_queue_depth", "port")
+        ports = sorted(((p, v) for (c, p), v in depths.items() if c == cell),
+                       key=lambda kv: int(kv[0]) if kv[0].isdigit() else 0)
+        if ports:
+            peak = max(v for _, v in ports)
+            heat = "".join(_bar(v, peak) for _, v in ports)
+            lines.append(f"  queue depth [{heat}] peak {peak:.0f} "
+                         f"across {len(ports)} ports")
+    lines.append("")
+
+    taxonomy: dict[str, float] = {}
+    for (cell, cause), v in now.grouped("repro_port_drops_total",
+                                        "cause").items():
+        taxonomy[cause] = taxonomy.get(cause, 0.0) + v
+    if taxonomy:
+        lines.append("drop taxonomy")
+        for cause, v in sorted(taxonomy.items()):
+            lines.append(f"  {cause:<20} {v:>10,.0f}")
+    else:
+        lines.append("drop taxonomy: no drops")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(url: str, *, interval: float = 1.0, once: bool = False,
+            iterations: int | None = None, out=None) -> int:
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``once`` prints a single dashboard (no clearing).  ``iterations``
+    bounds the loop for tests; interactive use runs until Ctrl-C.
+    """
+    out = out if out is not None else sys.stdout
+    prev: _Snapshot | None = None
+    count = 0
+    clear = "\x1b[2J\x1b[H" if (not once and getattr(out, "isatty",
+                                                    lambda: False)()) else ""
+    while True:
+        try:
+            snap = _Snapshot(scrape(url), time.monotonic())
+        except (urllib.error.URLError, OSError, ValueError,
+                promparse.PromParseError) as exc:
+            print(f"repro top: cannot scrape {url}: {exc}", file=sys.stderr)
+            return 1
+        text = render_dashboard(snap, prev)
+        if clear:
+            out.write(clear)
+        out.write(text)
+        out.flush()
+        prev = snap
+        count += 1
+        if once or (iterations is not None and count >= iterations):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+__all__ = ["scrape", "render_dashboard", "run_top"]

@@ -525,7 +525,33 @@ class Prepared:
                 "drop_taxonomy": self.telemetry.events.drop_taxonomy(),
                 "occupancy": self.telemetry.occupancy_series(),
             }
+            if self.telemetry.series is not None:
+                result["telemetry"]["series"] = self.telemetry.series.summary()
         return _jsonable(result)
+
+
+def telemetry_from_spec(spec) -> Telemetry:
+    """Build the telemetry bundle a :class:`TelemetrySpec` asks for.
+
+    The observability-plane channels are constructed here — a
+    :class:`~repro.obs.sampling.SampledEventLog` when ``trace_sample`` is
+    set (deterministic, seed-stable packet selection) and a
+    :class:`~repro.obs.series.SeriesRing` when ``series`` is set — so
+    every entry point (CLI, runner workers, checkpoint cold starts) gets
+    an identically-shaped bundle from the same spec.
+    """
+    events = None
+    series = None
+    if spec.trace_sample:
+        from repro.obs.sampling import SampledEventLog
+
+        events = SampledEventLog(spec.trace_sample, spec.trace_seed)
+    if spec.series:
+        from repro.obs.series import SeriesRing
+
+        series = SeriesRing(spec.series)
+    return Telemetry.on(sample_interval=spec.sample_interval, events=events,
+                        series=series)
 
 
 def prepare(
@@ -547,7 +573,7 @@ def prepare(
     adef = validate_scenario(scenario)
     seed = scenario.seeds[0] if seed is None else seed
     if telemetry is None and scenario.telemetry.enabled:
-        telemetry = Telemetry.on(sample_interval=scenario.telemetry.sample_interval)
+        telemetry = telemetry_from_spec(scenario.telemetry)
     sanitizer: Sanitizer | None = None
     if sanitize:
         if not adef.sanitize_ok:
@@ -740,6 +766,26 @@ def execute_prepared(
             metrics_path = out / f"{stem}.metrics.txt"
             write_metrics_text(prep.telemetry.metrics, metrics_path)
             artifacts["metrics"] = metrics_path.name
+        if scenario.telemetry.trace_sample:
+            from repro.obs.spans import spans_from_events, write_spans_jsonl
+
+            cfg = getattr(prep.switch, "config", None)
+            if cfg is not None and hasattr(cfg, "depth"):
+                spans = spans_from_events(
+                    prep.telemetry.events.sorted_events(),
+                    depth=cfg.depth, quanta=cfg.quanta,
+                    horizon=prep.switch.cycle,
+                )
+                spans_path = out / f"{stem}.spans.jsonl"
+                write_spans_jsonl(spans, spans_path)
+                artifacts["spans"] = spans_path.name
+        if scenario.telemetry.series and prep.telemetry.series is not None:
+            series_path = out / f"{stem}.series.jsonl"
+            # Deterministic columns only — rate columns are for live views.
+            series_path.write_text(
+                prep.telemetry.series.to_jsonl(include_rates=False)
+            )
+            artifacts["series"] = series_path.name
         if artifacts:
             result["telemetry"]["artifacts"] = artifacts
     return result

@@ -64,20 +64,32 @@ def _checkpoint_path(out_dir: str, name: str, seed: int) -> Path:
     return Path(out_dir) / "checkpoints" / f"{name}-seed{seed}.ckpt.json"
 
 
-def _run_job(job: tuple[dict[str, Any], int, str | None, bool]) -> dict[str, Any]:
+def _run_job(job: tuple[dict[str, Any], int, str | None, bool],
+             live_cb=None) -> dict[str, Any]:
     """Worker entry point: job is (scenario dict, seed, out_dir or None,
     sanitize flag).
 
     Module-level (picklable) and dict-based so the parent's Scenario
-    objects never need to cross the process boundary.
+    objects never need to cross the process boundary.  ``live_cb`` (only
+    ever non-None for in-process execution — it cannot pickle) announces
+    the job's live telemetry bundle to the metrics endpoint:
+    ``live_cb(name, seed, telemetry)`` when the run starts,
+    ``live_cb(name, seed, None)`` when it ends.
     """
     scenario_dict, seed, out_dir, sanitize = job
     scenario = Scenario.from_dict(scenario_dict)
-    return run_scenario(scenario, seed, out_dir=out_dir, sanitize=sanitize)
+    if live_cb is None:
+        return run_scenario(scenario, seed, out_dir=out_dir, sanitize=sanitize)
+    prep = prepare(scenario, seed, sanitize=sanitize)
+    live_cb(scenario.name, seed, prep.telemetry)
+    try:
+        return execute_prepared(prep, out_dir=out_dir)
+    finally:
+        live_cb(scenario.name, seed, None)
 
 
 def _run_job_checkpointed(
-    job: tuple[dict[str, Any], int, str, bool, int]
+    job: tuple[dict[str, Any], int, str, bool, int], live_cb=None
 ) -> dict[str, Any]:
     """Worker entry point for a periodically-checkpointed job.
 
@@ -97,18 +109,24 @@ def _run_job_checkpointed(
         prep = prepared_from_switch(scenario, seed, checkpoint.restore(ckpt))
     else:
         prep = prepare(scenario, seed, sanitize=sanitize)
-    sw = prep.switch
-    while sw.cycle < scenario.horizon:
-        before = sw.cycle
-        sw.run(min(every, scenario.horizon - sw.cycle))
-        checkpoint.save(sw, ckpt)
-        if sw.cycle == before:
-            break  # finite trace ran dry; further cycles cannot change stats
-    return execute_prepared(prep, out_dir=out_dir)
+    if live_cb is not None:
+        live_cb(scenario.name, seed, prep.telemetry)
+    try:
+        sw = prep.switch
+        while sw.cycle < scenario.horizon:
+            before = sw.cycle
+            sw.run(min(every, scenario.horizon - sw.cycle))
+            checkpoint.save(sw, ckpt)
+            if sw.cycle == before:
+                break  # finite trace ran dry; further cycles cannot change stats
+        return execute_prepared(prep, out_dir=out_dir)
+    finally:
+        if live_cb is not None:
+            live_cb(scenario.name, seed, None)
 
 
 def _run_prefix_group(
-    payload: tuple[list[dict[str, Any]], int, str | None]
+    payload: tuple[list[dict[str, Any]], int, str | None], live_cb=None
 ) -> list[dict[str, Any]]:
     """Worker entry point for a warmup-prefix fork group.
 
@@ -128,19 +146,25 @@ def _run_prefix_group(
     results = []
     for sc in scenarios:
         member = prepared_from_switch(sc, seed, checkpoint.restore_switch(doc))
-        results.append(execute_prepared(member, out_dir=out_dir))
+        if live_cb is not None:
+            live_cb(sc.name, seed, member.telemetry)
+        try:
+            results.append(execute_prepared(member, out_dir=out_dir))
+        finally:
+            if live_cb is not None:
+                live_cb(sc.name, seed, None)
     return results
 
 
-def _run_task(task: tuple[str, Any]) -> list[dict[str, Any]]:
+def _run_task(task: tuple[str, Any], live_cb=None) -> list[dict[str, Any]]:
     """Dispatch one task; always returns one result per covered job."""
     kind, payload = task
     if kind == "job":
-        return [_run_job(payload)]
+        return [_run_job(payload, live_cb)]
     if kind == "ckpt":
-        return [_run_job_checkpointed(payload)]
+        return [_run_job_checkpointed(payload, live_cb)]
     if kind == "group":
-        return _run_prefix_group(payload)
+        return _run_prefix_group(payload, live_cb)
     raise AssertionError(kind)
 
 
@@ -155,12 +179,29 @@ class ScenarioRunner:
     cycles and ``resume=True`` reuses finished per-job results (and mid-run
     snapshots) from ``out_dir`` — see the module docstring.  Both require
     ``out_dir``.
+
+    ``observer`` receives progress callbacks (all optional, duck-typed —
+    :class:`repro.obs.server.SweepMetricsObserver` is the production
+    implementation feeding the ``/metrics`` endpoint):
+
+    * ``sweep_started(total, resumed)`` before execution, after resume
+      accounting;
+    * ``job_live(name, seed, telemetry_or_None)`` around each in-process
+      job carrying a live telemetry bundle (never fires for pool workers —
+      their registries arrive via the per-job artifacts instead);
+    * ``job_finished(name, seed, result)`` from the parent as each job's
+      result is recorded (any ``--jobs``);
+    * ``sweep_finished()`` after the merge.
+
+    Observers must not mutate results: the merged output stays bit-identical
+    at any ``--jobs`` with or without an observer attached.
     """
 
     def __init__(self, jobs: int = 1, out_dir: str | Path | None = None,
                  sanitize: bool = False,
                  checkpoint_every: int | None = None,
-                 resume: bool = False):
+                 resume: bool = False,
+                 observer: Any | None = None):
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise ScenarioError(f"jobs must be an integer >= 1, got {jobs!r}")
         if checkpoint_every is not None and (
@@ -181,6 +222,12 @@ class ScenarioRunner:
         self.sanitize = sanitize
         self.checkpoint_every = checkpoint_every
         self.resume = resume
+        self.observer = observer
+
+    def _notify(self, method: str, *args: Any) -> None:
+        fn = getattr(self.observer, method, None) if self.observer else None
+        if fn is not None:
+            fn(*args)
 
     def run(self, scenarios: Scenario | Iterable[Scenario]) -> list[dict[str, Any]]:
         """Validate everything up front, run all (scenario, seed) jobs.
@@ -223,6 +270,7 @@ class ScenarioRunner:
                 if path.exists():
                     results[i] = json.loads(path.read_text())
         pending = [i for i, r in enumerate(results) if r is None]
+        self._notify("sweep_started", len(jobs), len(jobs) - len(pending))
         tasks = self._task_list(jobs, pending)
         self._execute(tasks, jobs, results)
         final = [r for r in results if r is not None]
@@ -233,6 +281,7 @@ class ScenarioRunner:
             partial = self.out_dir / "results.partial.json"
             if partial.exists():
                 partial.unlink()  # the sweep is whole again
+        self._notify("sweep_finished")
         return final
 
     # -- task construction ---------------------------------------------------
@@ -313,8 +362,12 @@ class ScenarioRunner:
             previous = signal.signal(signal.SIGTERM, _terminate)
         try:
             if self.jobs == 1 or len(tasks) <= 1:
+                live_cb = (getattr(self.observer, "job_live", None)
+                           if self.observer else None)
                 for task, indices in tasks:
-                    task_results = _run_task(task)
+                    task_results = (_run_task(task, live_cb)
+                                    if live_cb is not None
+                                    else _run_task(task))
                     self._record(indices, task_results, results)
             else:
                 workers = min(self.jobs, len(tasks))
@@ -356,6 +409,8 @@ class ScenarioRunner:
                 path.write_text(
                     json.dumps(result, indent=2, allow_nan=False) + "\n"
                 )
+            self._notify("job_finished", result["scenario"], result["seed"],
+                         result)
 
     def _write_partial_manifest(
         self,

@@ -75,15 +75,28 @@ class TrafficSpec:
 
 @dataclass
 class TelemetrySpec:
-    """Which telemetry channels a run collects (and exports as artifacts)."""
+    """Which telemetry channels a run collects (and exports as artifacts).
+
+    The observability-plane fields: ``trace_sample`` switches the event
+    channel to deterministic packet-lifecycle sampling at that rate (a
+    seed-stable hash of the packet uid selects the same packets on every
+    kernel tier, at any ``--jobs``, across checkpoint/resume) and exports
+    per-stage spans; ``series`` attaches a bounded time-series ring of
+    that many rows, fed at every ``sample_interval`` (which must then be
+    set).
+    """
 
     metrics: bool = False
     events: bool = False
     sample_interval: int = 0
+    trace_sample: float = 0.0  # 0 = off, else (0, 1]: sampled span tracing
+    trace_seed: int = 0        # salt for the sampling hash
+    series: int = 0            # 0 = off, else ring capacity in rows
 
     @property
     def enabled(self) -> bool:
-        return bool(self.metrics or self.events or self.sample_interval)
+        return bool(self.metrics or self.events or self.sample_interval
+                    or self.trace_sample or self.series)
 
     def validate(self) -> None:
         for flag in ("metrics", "events"):
@@ -95,6 +108,33 @@ class TelemetrySpec:
                 f"telemetry.sample_interval must be an integer >= 0 (cycles "
                 f"between occupancy samples; 0 = off), got {self.sample_interval!r}"
             )
+        if not isinstance(self.trace_sample, (int, float)) \
+                or isinstance(self.trace_sample, bool) \
+                or not 0.0 <= self.trace_sample <= 1.0:
+            raise ScenarioError(
+                f"telemetry.trace_sample must be a sampling rate in [0, 1] "
+                f"(0 = off), got {self.trace_sample!r}"
+            )
+        if not isinstance(self.trace_seed, int) or isinstance(self.trace_seed, bool):
+            raise ScenarioError(
+                f"telemetry.trace_seed must be an integer, got {self.trace_seed!r}"
+            )
+        if not isinstance(self.series, int) or isinstance(self.series, bool) \
+                or self.series < 0:
+            raise ScenarioError(
+                f"telemetry.series must be an integer >= 0 (ring capacity in "
+                f"rows; 0 = off), got {self.series!r}"
+            )
+        if self.series and not self.sample_interval:
+            raise ScenarioError(
+                "telemetry.series needs telemetry.sample_interval > 0 — the "
+                "ring records at the occupancy sampling instant"
+            )
+        if self.trace_sample and self.events:
+            raise ScenarioError(
+                "telemetry.trace_sample and telemetry.events are mutually "
+                "exclusive: sampled tracing replaces the full event log"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {}
@@ -104,6 +144,12 @@ class TelemetrySpec:
             out["events"] = True
         if self.sample_interval:
             out["sample_interval"] = self.sample_interval
+        if self.trace_sample:
+            out["trace_sample"] = self.trace_sample
+        if self.trace_seed:
+            out["trace_seed"] = self.trace_seed
+        if self.series:
+            out["series"] = self.series
         return out
 
     @classmethod

@@ -21,6 +21,7 @@ disabled bundle costs nothing on the hot path.  Exporters live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.telemetry.events import (
     ARRIVE,
@@ -59,16 +60,25 @@ class Telemetry:
     events: EventLog | NullEventLog = field(default_factory=EventLog)
     sample_interval: int = 0  # 0 = no occupancy time series
     samples: list[tuple[int, int]] = field(default_factory=list)  # (cycle, occ)
+    # Optional live time-series ring (repro.obs.series.SeriesRing); None = off.
+    # Typed Any to keep telemetry importable without the observability plane.
+    series: Any = None
 
     @property
     def enabled(self) -> bool:
         return bool(self.metrics.enabled or self.events.enabled
-                    or self.sample_interval > 0)
+                    or self.sample_interval > 0 or self.series is not None)
 
     @classmethod
-    def on(cls, sample_interval: int = 0) -> "Telemetry":
-        """Fresh bundle with every channel collecting."""
-        return cls(MetricsRegistry(), EventLog(), sample_interval)
+    def on(cls, sample_interval: int = 0, *, events: EventLog | None = None,
+           series: Any = None) -> "Telemetry":
+        """Fresh bundle with every channel collecting.
+
+        ``events`` lets callers inject a subclass (the observability
+        plane's sampled log); ``series`` attaches a live time-series ring.
+        """
+        return cls(MetricsRegistry(), events if events is not None else EventLog(),
+                   sample_interval, series=series)
 
     @classmethod
     def off(cls) -> "Telemetry":

@@ -61,15 +61,33 @@ def write_events_jsonl(log: EventLog, path) -> None:
 
 
 # -- Prometheus text metrics ------------------------------------------------
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes stay literal).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition format (the 0.0.4 subset we need)."""
+    """Prometheus text exposition format (the 0.0.4 subset we need).
+
+    Registry iteration is sorted by (name, labels), so each metric family
+    is contiguous; ``# HELP`` (when registered via ``describe``) and
+    ``# TYPE`` are emitted exactly once, ahead of the family's samples.
+    """
     lines: list[str] = []
-    seen_types: set[str] = set()
+    seen_families: set[str] = set()
+    help_for = getattr(registry, "help_for", lambda name: None)
     for m in registry:
+        if m.name not in seen_families:
+            seen_families.add(m.name)
+            help_text = help_for(m.name)
+            if help_text:
+                lines.append(f"# HELP {m.name} {_escape_help(help_text)}")
+            if isinstance(m, HistogramMetric):
+                kind = "histogram"
+            else:
+                kind = "counter" if m.name.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {m.name} {kind}")
         if isinstance(m, HistogramMetric):
-            if m.name not in seen_types:
-                lines.append(f"# TYPE {m.name} histogram")
-                seen_types.add(m.name)
             for le, cum in m.hist.cumulative():
                 le_txt = "+Inf" if math.isinf(le) else f"{le:g}"
                 labels = m.labels + (("le", le_txt),)
@@ -77,10 +95,6 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"{full_name(m.name + '_sum', m.labels)} {m.hist.sum:g}")
             lines.append(f"{full_name(m.name + '_count', m.labels)} {m.hist.total}")
         else:
-            if m.name not in seen_types:
-                kind = "counter" if m.name.endswith("_total") else "gauge"
-                lines.append(f"# TYPE {m.name} {kind}")
-                seen_types.add(m.name)
             value = m.value
             txt = f"{value:g}" if isinstance(value, float) else str(value)
             lines.append(f"{full_name(m.name, m.labels)} {txt}")

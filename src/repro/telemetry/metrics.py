@@ -30,11 +30,27 @@ def _label_key(labels: dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values (in that replacement
+    order, so an existing backslash never doubles an escape we added).
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def full_name(name: str, labels: LabelItems) -> str:
-    """Prometheus-style rendering: ``name{k="v",...}`` (sorted keys)."""
+    """Prometheus-style rendering: ``name{k="v",...}`` (sorted keys).
+
+    Label values are escaped per the text exposition format, so values
+    holding paths, quotes or newlines stay scrapeable.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -98,6 +114,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, LabelItems], object] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach exposition help text to the metric family ``name``.
+
+        Safe to call repeatedly; the last description wins.  Exporters
+        emit it as a ``# HELP`` line ahead of the family's samples.
+        """
+        self._help[name] = help_text
+
+    def help_for(self, name: str) -> str | None:
+        """Help text registered for family ``name``, or ``None``."""
+        return self._help.get(name)
 
     def _get(self, name: str, labels: dict[str, object], factory):
         key = (name, _label_key(labels))
@@ -196,6 +225,12 @@ class NullMetricsRegistry:
     """No-op stand-in: hands out shared do-nothing metric handles."""
 
     enabled = False
+
+    def describe(self, name: str, help_text: str) -> None:
+        pass
+
+    def help_for(self, name: str) -> None:
+        return None
 
     def counter(self, name: str, **labels: object) -> _NullCounter:
         return _NULL_COUNTER

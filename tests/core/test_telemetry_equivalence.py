@@ -120,6 +120,92 @@ class TestCheckedVsFastTelemetry:
         assert sw.stats == bare.stats
 
 
+class TestSampledObservability:
+    """The observability plane must not depend on the kernel tier: sampled
+    span streams and series rows are bit-identical across checked, fast and
+    batch, and sampling composes with the existing event equivalence."""
+
+    OBS_MATRIX = [
+        pytest.param(dict(n=8, addresses=128), 0.6, 1, id="e15-8x8"),
+        pytest.param(dict(n=4, addresses=8), 1.0, 3, id="4x4-droppy"),
+        pytest.param(dict(n=4, addresses=32, quanta=2), 0.6, 1,
+                     id="multi-quantum"),
+    ]
+
+    def _run_obs(self, kernel: str, cfg_kwargs: dict, load: float, seed: int,
+                 cycles: int = 1200, rate: float = 0.3):
+        from repro.core import BatchPipelinedSwitch, BatchRenewalSource
+        from repro.obs.sampling import SampledEventLog
+        from repro.obs.series import SeriesRing
+
+        reset_packet_ids()
+        cfg = PipelinedSwitchConfig(**cfg_kwargs)
+        # the tape-consumable source feeds all three kernels identically
+        src = BatchRenewalSource(n_out=cfg.n, packet_words=cfg.packet_words,
+                                 load=load, width_bits=cfg.width_bits,
+                                 seed=seed)
+        tel = Telemetry.on(sample_interval=32,
+                           events=SampledEventLog(rate, seed=seed),
+                           series=SeriesRing(capacity=64))
+        cls = {"checked": PipelinedSwitch, "fast": FastPipelinedSwitch,
+               "batch": BatchPipelinedSwitch}[kernel]
+        sw = cls(cfg, src, telemetry=tel)
+        sw.run(cycles)
+        sw.drain()
+        return sw, cfg, tel
+
+    @pytest.mark.parametrize("cfg_kwargs,load,seed", OBS_MATRIX)
+    def test_sampled_streams_and_spans_identical_three_kernels(
+            self, cfg_kwargs, load, seed):
+        from repro.obs.spans import spans_from_events
+
+        runs = {k: self._run_obs(k, cfg_kwargs, load, seed)
+                for k in ("checked", "fast", "batch")}
+        streams = {k: tel.events.sorted_events()
+                   for k, (_, _, tel) in runs.items()}
+        assert streams["checked"] == streams["fast"] == streams["batch"]
+        assert streams["checked"]  # the rate actually sampled something
+        spans = {}
+        for k, (sw, cfg, tel) in runs.items():
+            spans[k] = spans_from_events(tel.events.sorted_events(),
+                                         depth=cfg.depth, quanta=cfg.quanta,
+                                         horizon=sw.cycle)
+        assert spans["checked"] == spans["fast"] == spans["batch"]
+
+    @pytest.mark.parametrize("cfg_kwargs,load,seed", OBS_MATRIX)
+    def test_series_rows_identical_three_kernels(self, cfg_kwargs, load,
+                                                 seed):
+        rows = {}
+        for k in ("checked", "fast", "batch"):
+            _, _, tel = self._run_obs(k, cfg_kwargs, load, seed)
+            rows[k] = list(tel.series.rows)
+            assert tel.series.to_jsonl() == tel.series.to_jsonl()
+        assert rows["checked"] == rows["fast"] == rows["batch"]
+        assert rows["checked"]
+
+    def test_droppy_series_sees_taxonomy(self):
+        """Guard: the droppy row exercises cumulative per-cause columns at
+        the sample instant (drops stamped <= t-1 visible at sample t)."""
+        sw, _, tel = self._run_obs("batch", dict(n=4, addresses=8), 1.0, 3)
+        last = tel.series.latest()
+        assert sum(dict(last[4]).values()) > 0
+        assert sum(dict(last[4]).values()) <= sw.stats.dropped
+
+    def test_sampling_composes_with_statistics(self):
+        """A sampled-tracing run is the same simulation as an untraced one."""
+        sw_obs, _, _ = self._run_obs("fast", dict(n=8, addresses=128), 0.6, 1)
+        reset_packet_ids()
+        from repro.core import BatchRenewalSource
+
+        cfg = PipelinedSwitchConfig(n=8, addresses=128)
+        src = BatchRenewalSource(n_out=8, packet_words=cfg.packet_words,
+                                 load=0.6, width_bits=cfg.width_bits, seed=1)
+        bare = FastPipelinedSwitch(cfg, src)
+        bare.run(1200)
+        bare.drain()
+        assert sw_obs.stats == bare.stats
+
+
 class TestTraceVsTracer:
     def test_closed_form_bank_slices_match_word_level_truth(self):
         """chrome_trace_from_events (figure-5 arithmetic) must paint exactly

@@ -1,0 +1,112 @@
+"""Promtool-style validation of what the repo actually exports.
+
+`tests/obs/test_promparse.py` pins the parser on synthetic documents; this
+file points the same parser at *real* registry output — a full switch run,
+the checkpoint-carried registry, pathological label values — so a format
+regression in `render_prometheus` (or a new metric that breaks family
+contiguity) fails here before any external scraper sees it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import (
+    PipelinedSwitchConfig,
+    PipelinedSwitch,
+    RenewalPacketSource,
+    SaturatingSource,
+)
+from repro.core.instrumentation import METRIC_HELP
+from repro.obs.promparse import parse
+from repro.sim.packet import reset_packet_ids
+from repro.telemetry import Telemetry
+from repro.telemetry.export import render_prometheus
+from repro.telemetry.metrics import MetricsRegistry, escape_label_value
+
+
+def _run_registry(droppy=False, cycles=800):
+    reset_packet_ids()
+    if droppy:
+        cfg = PipelinedSwitchConfig(n=4, addresses=8)
+        src = SaturatingSource(n_out=4, packet_words=cfg.packet_words, seed=3)
+    else:
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = RenewalPacketSource(n_out=4, packet_words=cfg.packet_words,
+                                  load=0.7, seed=1)
+    tel = Telemetry.on(sample_interval=32)
+    sw = PipelinedSwitch(cfg, src, telemetry=tel)
+    sw.run(cycles)
+    sw.drain()
+    return tel.metrics
+
+
+class TestRealRunOutput:
+    def test_full_run_export_validates(self):
+        text = render_prometheus(_run_registry(droppy=True))
+        families = {f.name: f for f in parse(text)}
+        # the parser checked: escaping, HELP-before-TYPE, one TYPE per
+        # family, contiguity, histogram structure (+Inf, cumulative,
+        # _count == +Inf bucket, _sum present)
+        hist = families["repro_ct_latency_cycles"]
+        assert hist.type == "histogram"
+        assert any(s.labels.get("le") == "+Inf" for s in hist.samples)
+        assert families["repro_port_drops_total"].type == "counter"
+        assert families["repro_buffer_occupancy"].type == "gauge"
+
+    def test_help_emitted_for_core_families(self):
+        text = render_prometheus(_run_registry())
+        families = {f.name: f for f in parse(text)}
+        for name, help_text in METRIC_HELP.items():
+            if name in families:
+                assert families[name].help == help_text
+        assert any(f.help for f in families.values())
+
+    def test_trace_ended_gauge_surfaces(self):
+        """trace_ended_at (finite-source early stop) must be scrapeable."""
+        from repro.core.sources import TracePacketSource
+
+        reset_packet_ids()
+        cfg = PipelinedSwitchConfig(n=4, addresses=64)
+        src = TracePacketSource(
+            n_out=4, packet_words=cfg.packet_words,
+            schedule={0: [(0, 1), (3, 2)], 1: [(1, 3)]},
+        )
+        tel = Telemetry.on()
+        sw = PipelinedSwitch(cfg, src, telemetry=tel)
+        sw.run(400)
+        assert sw.trace_ended_at is not None
+        families = {f.name: f for f in parse(render_prometheus(tel.metrics))}
+        gauge = families["repro_trace_ended_cycle"]
+        assert gauge.samples[0].value == sw.trace_ended_at
+
+    def test_trace_ended_gauge_absent_without_trace(self):
+        text = render_prometheus(_run_registry())
+        assert "repro_trace_ended_cycle" not in {f.name for f in parse(text)}
+
+
+class TestEscaping:
+    def test_pathological_label_values_round_trip(self):
+        m = MetricsRegistry()
+        ugly = 'C:\\path\\"quoted"\nnext\\nline'
+        m.counter("weird_total", path=ugly).inc()
+        fams = parse(render_prometheus(m))
+        assert fams[0].samples[0].labels["path"] == ugly
+
+    def test_escape_order_backslash_first(self):
+        # escaping \ after " would double the quote's escape
+        assert escape_label_value('\\"') == '\\\\\\"'
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_value_text_integers_stay_integers(self):
+        m = MetricsRegistry()
+        m.counter("c_total").inc(7)
+        fams = parse(render_prometheus(m))
+        s = fams[0].samples[0]
+        assert s.value == 7 and "." not in s.value_text
+
+    def test_inf_renders_as_plus_inf(self):
+        m = MetricsRegistry()
+        m.gauge("g").set(math.inf)
+        fams = parse(render_prometheus(m))
+        assert fams[0].samples[0].value == math.inf
