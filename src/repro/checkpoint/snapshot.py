@@ -73,7 +73,14 @@ from repro.telemetry import (
 )
 
 SNAPSHOT_FORMAT = "repro-checkpoint"
-SNAPSHOT_VERSION = 1
+#: Version 2 added the admission-policy spec to the config codec, the
+#: ``policy_drops`` counter to the collectors block, and the policy
+#: runtime-state document.  Version 1 documents predate pluggable
+#: admission and are still read: they can only have been produced under
+#: complete sharing, so defaulting the missing fields is exact, not a
+#: guess.
+SNAPSHOT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 class CheckpointError(ConfigError):
@@ -237,6 +244,7 @@ def _config_doc(cfg: PipelinedSwitchConfig) -> dict:
         "downstream_credits": cfg.downstream_credits,
         "downstream_rtt": cfg.downstream_rtt,
         "link_pipeline_stages": cfg.link_pipeline_stages,
+        "policy": cfg.policy.spec,
     }
 
 
@@ -254,6 +262,7 @@ def _config_from(doc: dict) -> PipelinedSwitchConfig:
         downstream_credits=doc["downstream_credits"],
         downstream_rtt=doc["downstream_rtt"],
         link_pipeline_stages=doc["link_pipeline_stages"],
+        policy=doc.get("policy", "complete"),  # absent in version-1 docs
     )
 
 
@@ -495,7 +504,8 @@ def _collectors_doc(sw: Any, sort_hists: bool = False) -> dict:
         "total_latency": _counter_doc(sw.total_latency),
         "stagger_extra": _counter_doc(sw.stagger_extra),
         "waves": [sw.cut_through_waves, sw.plain_read_waves, sw.write_waves,
-                  sw.idle_cycles, sw.deadline_overrides, sw.overrun_drops],
+                  sw.idle_cycles, sw.deadline_overrides, sw.overrun_drops,
+                  sw.policy_drops],
         "unobstructed": sorted(sw._unobstructed),
     }
 
@@ -506,8 +516,11 @@ def _collectors_from(doc: dict, sw: Any) -> None:
     _hist_from(doc["ct_latency_hist"], sw.ct_latency_hist)
     _counter_from(doc["total_latency"], sw.total_latency)
     _counter_from(doc["stagger_extra"], sw.stagger_extra)
+    waves = doc["waves"]
     (sw.cut_through_waves, sw.plain_read_waves, sw.write_waves,
-     sw.idle_cycles, sw.deadline_overrides, sw.overrun_drops) = doc["waves"]
+     sw.idle_cycles, sw.deadline_overrides, sw.overrun_drops) = waves[:6]
+    # Version-1 documents predate policy drops (always complete sharing).
+    sw.policy_drops = waves[6] if len(waves) > 6 else 0
     sw._unobstructed = set(doc["unobstructed"])
 
 
@@ -693,6 +706,7 @@ def _snap_fast(sw: FastPipelinedSwitch) -> dict:
                     for u in sorted(live)],
         "next_uid": sw._next_uid,
         "free": sw._free,
+        "peak": sw._peak_occ,
         "queues": [[list(item) for item in q] for q in sw._queues],
         "in_uid": list(sw._in_uid),
         "in_next": list(sw._in_next),
@@ -733,6 +747,7 @@ def _restore_fast(
         sw._rec[uid & mask] = (arrival, write_init, src, dst)
     sw._next_uid = body["next_uid"]
     sw._free = body["free"]
+    sw._peak_occ = body.get("peak", 0)  # absent in version-1 docs
     sw._queues = [deque(tuple(item) for item in q) for q in body["queues"]]
     sw._in_uid = list(body["in_uid"])
     sw._in_next = list(body["in_next"])
@@ -772,6 +787,7 @@ def _snap_batch(sw: Any) -> dict:
         "jit": sw.jit_state != "off",
         "next_uid": sw._next_uid,
         "free": sw._free,
+        "peak": sw._peak_occ,
         "queues": [[list(item) for item in q] for q in sw._queues],
         "pend_uid": list(sw._pend_uid),
         "pend_dst": list(sw._pend_dst),
@@ -819,6 +835,7 @@ def _restore_batch(
     sw.cycle = doc["cycle"]
     sw._next_uid = body["next_uid"]
     sw._free = body["free"]
+    sw._peak_occ = body.get("peak", 0)  # absent in version-1 docs
     sw._queues = [deque(tuple(item) for item in q) for q in body["queues"]]
     sw._pend_uid = list(body["pend_uid"])
     sw._pend_dst = list(body["pend_dst"])
@@ -899,6 +916,7 @@ def snapshot_switch(switch: Any) -> dict:
         "source": _source_doc(switch.source),
         "telemetry": _telemetry_doc(telemetry),
         "sanitizer": _sanitizer_doc(sanitizer),
+        "policy_state": switch.policy.state(),
         "switch": body,
     }
 
@@ -934,6 +952,9 @@ def restore_switch(doc: dict) -> Any:
         sw = _restore_batch(doc, cfg, source, telemetry)
     else:
         raise CheckpointError(f"unknown kernel {kernel!r} in snapshot")
+    # Stateless policies carry None; restore_state refuses loudly if the
+    # document holds state a different (or stateful) policy wrote.
+    sw.policy.restore_state(doc.get("policy_state"))
     set_packet_id_state(doc["packet_ids"])
     return sw
 
@@ -944,10 +965,11 @@ def _check_format(doc: Any) -> None:
             f"not a {SNAPSHOT_FORMAT} document "
             f"(format={doc.get('format') if isinstance(doc, dict) else doc!r})"
         )
-    if doc.get("version") != SNAPSHOT_VERSION:
+    if doc.get("version") not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"snapshot version {doc.get('version')!r} is not supported "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions "
+            f"{', '.join(str(v) for v in _READABLE_VERSIONS)})"
         )
 
 

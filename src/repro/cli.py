@@ -236,6 +236,9 @@ def _add_bench(sub: argparse._SubParsersAction) -> None:
                         "all = checked+fast+batch)")
     p.add_argument("--batch-cycles", type=int, default=None,
                    help="batch kernel window size (default 4096)")
+    p.add_argument("--policy", metavar="SPEC", default=None,
+                   help="admission policy for every kernel (e.g. "
+                        "dynamic:alpha=1.0); default complete sharing")
     p.add_argument("--jit", action="store_true",
                    help="enable the batch kernel's numba array core "
                         "(REPRO_JIT=1 equivalent; falls back gracefully "
@@ -281,6 +284,8 @@ def cmd_bench(args) -> int:
         import dataclasses
 
         params = dict(scenario.params)
+        if args.policy is not None:
+            params["policy"] = args.policy
         if kernel == "batch":
             if args.batch_cycles is not None:
                 params["batch_cycles"] = args.batch_cycles
@@ -559,6 +564,11 @@ def _add_scenario_flags(p: argparse.ArgumentParser, default_jobs) -> None:
     p.add_argument("--horizon", type=int, default=None, metavar="SLOTS",
                    help="override every scenario's horizon (warmup reverts "
                         "to the horizon//5 default); for smoke runs")
+    p.add_argument("--policy", metavar="SPEC", default=None,
+                   help="override every scenario's admission policy "
+                        "(e.g. complete, static:cap=8, dynamic:alpha=1.0, "
+                        "reservation:reserve=2); scenarios whose arch has "
+                        "no policy parameter are rejected")
     p.add_argument("--checkpoint-every", type=int, default=None,
                    metavar="CYCLES",
                    help="snapshot each word-level kernel to "
@@ -624,6 +634,10 @@ def cmd_run(args) -> int:
     if args.horizon is not None:
         scenarios = [dataclasses.replace(sc, horizon=args.horizon, warmup=None)
                      for sc in scenarios]
+    if args.policy is not None:
+        scenarios = [dataclasses.replace(
+            sc, params={**sc.params, "policy": args.policy})
+            for sc in scenarios]
     server = observer = None
     if args.serve_metrics is not None:
         from repro.obs.server import serve_run_metrics

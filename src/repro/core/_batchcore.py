@@ -65,6 +65,9 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
     rtt: int,
     free: int,
     warmup: int,
+    policy_kind: int,
+    policy_p1: int,
+    policy_p2: int,
     next_uid: int,
     rr_out: int,
     rr_in: int,
@@ -93,7 +96,7 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
     unob_uid: np.ndarray,
     unob_op: np.ndarray,
 ) -> tuple[int, int, int, int, int, int, int, int, int, int, int, int, int,
-           int, int, int, int, int, int, int]:
+           int, int, int, int, int, int, int, int]:
     """Advance the switch to ``stop`` (or the drain point) on flat arrays.
 
     Same phase order as the scalar engines: due consequences, arbitration
@@ -101,6 +104,14 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
     store), arrivals, drain check.  Departure-bearing waves and
     unobstructed-set events are appended to the log arrays in decision
     order; the Python wrapper replays them onto the canonical containers.
+
+    ``policy_kind``/``policy_p1``/``policy_p2`` are the admission policy's
+    integer kernel code (see ``repro.policy``): 0 = complete sharing
+    (admit always), 1 = static per-output cap ``p1``, 2 = dynamic
+    threshold with exact-rational alpha ``p1/p2``, 3 = per-port
+    reservation of ``p1`` packets.  The arithmetic is pure int64, so the
+    decisions are bit-identical compiled or not, and to the Python
+    engines' ``AdmissionPolicy.admit``.
     """
     cap = q_uid.shape[1]
     t = t0
@@ -113,6 +124,7 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
     idle = 0
     deadline = 0
     overruns = 0
+    policy_drops = 0
     write_waves = 0
     ct_waves = 0
     read_waves = 0
@@ -288,12 +300,39 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
             uid = next_uid
             next_uid += 1
             stream_end[i] = t + w
-            pend_uid[i] = uid
-            pend_dst[i] = d
-            pend_arr[i] = t
+            if policy_kind == 0:
+                admitted = True
+            elif policy_kind == 1:
+                # Static per-output cap of ``p1`` packets.
+                held_d = q_len[d] + (1 if next_ok[d] > t else 0)
+                admitted = held_d < policy_p1
+            elif policy_kind == 2:
+                # Dynamic threshold: held+1 <= alpha * free, alpha = p1/p2.
+                held_d = q_len[d] + (1 if next_ok[d] > t else 0)
+                admitted = (held_d + 1) * policy_p2 <= policy_p1 * free
+            else:
+                # Port reservation: keep enough free space to top every
+                # other output up to ``p1`` packets.
+                shortfall = 0
+                for jj in range(n):
+                    if jj == d:
+                        continue
+                    held_j = q_len[jj] + (1 if next_ok[jj] > t else 0)
+                    if held_j < policy_p1:
+                        shortfall += policy_p1 - held_j
+                admitted = free >= 1 + shortfall
+            if admitted:
+                pend_uid[i] = uid
+                pend_dst[i] = d
+                pend_arr[i] = t
+            else:
+                # The head-overrun branch above relies on the new pend
+                # overwriting the old; a refusal creates no pend, so clear
+                # the overrun one explicitly.
+                pend_uid[i] = -1
             if t >= warmup:
                 offered += 1
-                if next_ok[d] <= t + 1 and q_len[d] == 0:
+                if admitted and next_ok[d] <= t + 1 and q_len[d] == 0:
                     clear = True
                     for k in range(n):
                         if k != i and pend_uid[k] >= 0 and pend_dst[k] == d:
@@ -303,6 +342,10 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
                         unob_uid[unob_n] = uid
                         unob_op[unob_n] = 1
                         unob_n += 1
+            if not admitted:
+                if t >= warmup:
+                    dropped += 1
+                policy_drops += 1
         if draining:
             empty = True
             for j in range(n):
@@ -317,7 +360,7 @@ def _kernel(  # noqa: PLR0913 - flat state is the point of the array core
         t += 1
     return (t, free, next_uid, rr_out, rr_in, busy_until, due_mask, ret_i,
             ret_n, offered, accepted, dropped, idle, deadline, overruns,
-            write_waves, ct_waves, read_waves, dep_n, unob_n)
+            policy_drops, write_waves, ct_waves, read_waves, dep_n, unob_n)
 
 
 def advance_window(
@@ -369,11 +412,13 @@ def advance_window(
     unob_cap = 2 * len(arr_c) + 1
     unob_uid = np.zeros(unob_cap, dtype=np.int64)
     unob_op = np.zeros(unob_cap, dtype=np.int64)
+    pk, pp1, pp2 = switch._policy_code
     (t, free, next_uid, rr_out, rr_in, busy_until, due_mask, ret_i, ret_n,
-     offered, accepted, dropped, idle, deadline, overruns, write_waves,
-     ct_waves, read_waves, dep_n, unob_n) = _kernel(
+     offered, accepted, dropped, idle, deadline, overruns, policy_drops,
+     write_waves, ct_waves, read_waves, dep_n, unob_n) = _kernel(
         t0, stop, n, switch._b, switch._w, switch._extra,
         switch.config.downstream_rtt, switch._free, switch.stats.warmup,
+        pk, pp1, pp2,
         switch._next_uid, switch._rr_out, switch._rr_in, switch._busy_until,
         switch._core_due_mask, draining, next_ok, out_credits, pend_uid,
         pend_dst, pend_arr, stream_end, q_uid, q_arr, q_winit, q_src,
@@ -418,6 +463,7 @@ def advance_window(
     switch.idle_cycles += idle
     switch.deadline_overrides += deadline
     switch.overrun_drops += overruns
+    switch.policy_drops += policy_drops
     switch.write_waves += write_waves
     switch.cut_through_waves += ct_waves
     switch.plain_read_waves += read_waves

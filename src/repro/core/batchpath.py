@@ -71,6 +71,7 @@ from repro.telemetry import (
     CUT_THROUGH,
     DEPART,
     DROP_HEAD_OVERRUN,
+    DROP_POLICY,
     DROP_QUANTUM_OVERRUN,
     READ_WAVE,
     STORE_WAVE,
@@ -83,8 +84,8 @@ DEFAULT_BATCH_CYCLES = 4096
 # Wave-log kind codes (int-coded for compactness; decoded at flush time).
 _STORE, _CT, _READ = 0, 1, 2
 _WAVE_KIND = (STORE_WAVE, CUT_THROUGH, READ_WAVE)
-_DROP_CAUSE = (DROP_HEAD_OVERRUN, DROP_QUANTUM_OVERRUN)
-_HEAD, _QUANTUM = 0, 1
+_DROP_CAUSE = (DROP_HEAD_OVERRUN, DROP_QUANTUM_OVERRUN, DROP_POLICY)
+_HEAD, _QUANTUM, _POLICY = 0, 1, 2
 
 
 class ArrivalTape(Protocol):
@@ -274,6 +275,7 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         self._extra = 2 * config.link_pipeline_stages
         self._chain_offsets = [q * self._b for q in range(1, config.quanta)]
         self._free = config.addresses
+        self._peak_occ = 0
         self._queues: list[deque[tuple[int, int, int, int]]] = [
             deque() for _ in range(n)
         ]
@@ -305,17 +307,24 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         self.idle_cycles = 0
         self.deadline_overrides = 0
         self.overrun_drops = 0
+        self.policy_drops = 0
+        # Admission policy (normalized by the config); trivial = complete
+        # sharing, consulted never — the seed hot path is untouched.
+        self.policy = config.policy
+        self._policy_trivial = self.policy.trivial
+        self._policy_code = self.policy.kernel_code()
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
         # -- batched logs, consumed by _flush() --------------------------------
         self._wave_log: list[tuple[int, int, int, int, int, int]] = []
         self._drop_log: list[tuple[int, int, int, int, int, int]] = []
         self._arrive_log: list[tuple[int, int, int, int]] = []
-        # (cycle, free, out_credits, queue_depths, drop_log_prefix): the
-        # prefix is len(_drop_log) at the sampling instant, so _flush can
-        # reconstruct the drop taxonomy visible at each sample.
+        # (cycle, free, out_credits, queue_depths, drop_log_prefix, peak):
+        # the prefix is len(_drop_log) at the sampling instant, so _flush can
+        # reconstruct the drop taxonomy visible at each sample; peak is the
+        # occupancy high-water mark at that instant.
         self._sample_log: list[
-            tuple[int, int, tuple[int, ...], tuple[int, ...], int]
+            tuple[int, int, tuple[int, ...], tuple[int, ...], int, int]
         ] = []
         self._pending_departures: deque[tuple[int, int, int, int, int, int]] = deque()
         # Lean-engine due deque: (cycle, output) events at which a CT/read
@@ -333,6 +342,16 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         # The array core covers the same shape as the lean engine minus the
         # port-count cap: single-quantum cut-through with telemetry off.
         core_shape = self._quanta == 1 and config.cut_through and not self._tel
+        if self.jit_state != "off" and core_shape and self._policy_code is None:
+            # Refuse, don't approximate: a policy without an integer kernel
+            # encoding cannot run on the array core, and silently falling
+            # back would make --jit lie about what executed.
+            raise reject_unsupported(
+                _KERNEL,
+                f"admission policy '{self.policy.spec}' does not compile to "
+                f"the numba array core (kernel_code() is None); run it "
+                f"without --jit",
+            )
         self._array_core = self.jit_state != "off" and core_shape
         if self.jit_state != "off" and not core_shape:
             self.jit_state = "unsupported"
@@ -361,6 +380,12 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
 
     def _queue_depths(self) -> list[int]:
         return [len(q) for q in self._queues]
+
+    def _peak_occupancy(self) -> int:
+        # Only the general engine maintains this: the lean engine and the
+        # array core exist for the telemetry-off shape, where the gauge is
+        # never sampled.
+        return self._peak_occ
 
     # -- public API -----------------------------------------------------------
     @property
@@ -477,6 +502,8 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         rtt = self.config.downstream_rtt
         cut_through = self.config.cut_through
         free = self._free
+        addresses = self.config.addresses
+        peak_occ = self._peak_occ
         free_due = self._free_due
         returns = self._credit_returns
         queues = self._queues
@@ -499,11 +526,14 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         dlog_append = self._drop_log.append
         alog_append = self._arrive_log.append
         sample_log = self._sample_log
+        policy_trivial = self._policy_trivial
+        policy_admit = self.policy.admit
         offered = accepted = dropped = 0
         idle = 0
         deadline = 0
         write_waves = ct_waves = read_waves = 0
         overruns = 0
+        policy_drops = 0
         ai = 0
         n_arr = len(arr_c)
         tel_iv = self.telemetry.sample_interval if self._tel else 0
@@ -522,7 +552,7 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
             if t == next_sample:
                 sample_log.append((t, free, tuple(out_credits),
                                    tuple(len(q) for q in queues),
-                                   len(self._drop_log)))
+                                   len(self._drop_log), peak_occ))
                 next_sample += tel_iv
             # -- phase 1: departures are log-derived (see _flush) --------------
             # -- phase 2: arbitration ------------------------------------------
@@ -630,6 +660,9 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                     if arr + b <= t:
                         deadline += 1
                     free -= quanta
+                    occ = addresses - free
+                    if occ > peak_occ:
+                        peak_occ = occ
                     pend_uid[i] = -1
                     if arr >= warmup:
                         accepted += 1
@@ -673,13 +706,23 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                         uid = next_uid
                         next_uid += 1
                         stream_end[i] = t + w
-                        pend_uid[i] = uid
-                        pend_dst[i] = d
-                        pend_arr[i] = t
+                        if policy_trivial:
+                            admitted = True
+                        else:
+                            held = [
+                                len(qq) + (1 if next_ok[jj] > t else 0)
+                                for jj, qq in enumerate(queues)
+                            ]
+                            admitted = policy_admit(d, free, held, quanta)
+                        if admitted:
+                            pend_uid[i] = uid
+                            pend_dst[i] = d
+                            pend_arr[i] = t
                         if t >= warmup:
                             offered += 1
                             if (
-                                next_ok[d] <= t + 1
+                                admitted
+                                and next_ok[d] <= t + 1
                                 and not queues[d]
                             ):
                                 clear = True
@@ -690,6 +733,11 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                                         break
                                 if clear:
                                     unobstructed.add(uid)
+                        if not admitted:
+                            if t >= warmup:
+                                dropped += 1
+                            policy_drops += 1
+                            dlog_append((t, uid, i, d, _POLICY, t))
                         alog_append((t, uid, i, d))
                 else:
                     # Multi-quantum path: merge packet starts and §3.5
@@ -723,14 +771,24 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                         uid = next_uid
                         next_uid += 1
                         stream_end[i] = t + w
-                        for m in range(1, quanta):
-                            heappush(qchecks, (t + m * b, i))
-                        pend_uid[i] = uid
-                        pend_dst[i] = d
-                        pend_arr[i] = t
+                        if policy_trivial:
+                            admitted = True
+                        else:
+                            held = [
+                                len(qq) + (1 if next_ok[jj] > t else 0)
+                                for jj, qq in enumerate(queues)
+                            ]
+                            admitted = policy_admit(d, free, held, quanta)
+                        if admitted:
+                            for m in range(1, quanta):
+                                heappush(qchecks, (t + m * b, i))
+                            pend_uid[i] = uid
+                            pend_dst[i] = d
+                            pend_arr[i] = t
                         if t >= warmup:
                             offered += 1
-                            if next_ok[d] <= t + 1 and not queues[d]:
+                            if (admitted and next_ok[d] <= t + 1
+                                    and not queues[d]):
                                 clear = True
                                 for k in range(n):
                                     if (k != i and pend_uid[k] >= 0
@@ -739,6 +797,11 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                                         break
                                 if clear:
                                     unobstructed.add(uid)
+                        if not admitted:
+                            if t >= warmup:
+                                dropped += 1
+                            policy_drops += 1
+                            dlog_append((t, uid, i, d, _POLICY, t))
                         alog_append((t, uid, i, d))
             elif qchecks and qchecks[0][0] == t:
                 while qchecks and qchecks[0][0] == t:
@@ -800,6 +863,7 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
 
         # -- write back the hoisted state --------------------------------------
         self._free = free
+        self._peak_occ = peak_occ
         self._rr_out = rr_out
         self._rr_in = rr_in
         self._busy_until = busy_until
@@ -807,6 +871,7 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         self.idle_cycles += idle
         self.deadline_overrides += deadline
         self.overrun_drops += overruns
+        self.policy_drops += policy_drops
         self.write_waves += write_waves
         self.cut_through_waves += ct_waves
         self.plain_read_waves += read_waves
@@ -912,10 +977,13 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         per_out = stats.per_output_delivered
         unobstructed_remove = unobstructed.remove
         wm1 = w - 1
+        policy_trivial = self._policy_trivial
+        policy_admit = self.policy.admit
         offered = accepted = dropped = 0
         idle = deadline = 0
         write_waves = ct_waves = read_waves = 0
         overruns = 0
+        policy_drops = 0
         ai = 0
         n_arr = len(arr_c)
         full = (1 << n) - 1
@@ -1183,14 +1251,24 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                     uid = next_uid
                     next_uid += 1
                     stream_end[i] = t + w
-                    pend_uid[i] = uid
-                    pend_dst[i] = d
-                    pend_dbit[i] = 1 << d
-                    pend_arr[i] = t
-                    pend_mask |= ibit
+                    if policy_trivial:
+                        admitted = True
+                    else:
+                        held = [
+                            len(qq) + (1 if next_ok[jj] > t else 0)
+                            for jj, qq in enumerate(queues)
+                        ]
+                        admitted = policy_admit(d, free, held, 1)
+                    if admitted:
+                        pend_uid[i] = uid
+                        pend_dst[i] = d
+                        pend_dbit[i] = 1 << d
+                        pend_arr[i] = t
+                        pend_mask |= ibit
                     if t >= warmup:
                         offered += 1
-                        if next_ok[d] <= t + 1 and not nonempty_mask >> d & 1:
+                        if (admitted and next_ok[d] <= t + 1
+                                and not nonempty_mask >> d & 1):
                             clear = True
                             for k in bits[pend_mask ^ ibit]:
                                 if pend_dst[k] == d:
@@ -1198,6 +1276,15 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
                                     break
                             if clear:
                                 unobstructed.add(uid)
+                    if not admitted:
+                        # The head-overrun branch above relies on the new
+                        # pend overwriting the old; a refusal creates no
+                        # pend, so clear the overrun one explicitly.
+                        pend_uid[i] = -1
+                        pend_mask &= ~ibit
+                        if t >= warmup:
+                            dropped += 1
+                        policy_drops += 1
                 next_arr = arr_c[ai] if ai < n_arr else never
                 # A pend created this cycle becomes eligible at t + 1; fold
                 # it into the idle-skip wake target.
@@ -1237,6 +1324,7 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
         self.idle_cycles += idle
         self.deadline_overrides += deadline
         self.overrun_drops += overruns
+        self.policy_drops += policy_drops
         self.write_waves += write_waves
         self.cut_through_waves += ct_waves
         self.plain_read_waves += read_waves
@@ -1298,11 +1386,12 @@ class BatchPipelinedSwitch(SwitchTelemetryMixin):
             series = self.telemetry.series
             drop_log = self._drop_log
             drop_ptr = 0
-            for t, free, oc, depths, n_drops in self._sample_log:
+            for t, free, oc, depths, n_drops, peak in self._sample_log:
                 occ = addresses - free
                 self.telemetry.sample(t, occ)
                 self._m_occupancy.set(occ)
                 self._m_free.set(free)
+                self._m_peak.set(peak)
                 self._m_cycle.set(t)
                 for gauge, depth in zip(self._m_qdepth, depths):
                     gauge.set(depth)

@@ -73,9 +73,13 @@ class BufferManager:
         if quanta < 1:
             raise ValueError(f"packets occupy >= 1 address, got {quanta}")
         if len(self._free) < quanta:
+            # Name the full geometry: a capacity drop shows free ~ 0 with
+            # queues spread out, a policy drop never reaches here — the
+            # distinction must be triageable from the log line alone.
             raise BufferFullError(
                 f"need {quanta} addresses for packet {uid} at cycle {cycle}, "
-                f"only {len(self._free)} free"
+                f"only {len(self._free)} of {self.addresses} free "
+                f"({len(self.queues[dst])} packets queued for output {dst})"
             )
         addrs = [self._free.popleft() for _ in range(quanta)]
         rec = PacketRecord(

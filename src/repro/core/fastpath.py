@@ -53,6 +53,7 @@ from repro.telemetry import (
     CUT_THROUGH,
     DEPART,
     DROP_HEAD_OVERRUN,
+    DROP_POLICY,
     DROP_QUANTUM_OVERRUN,
     READ_WAVE,
     STORE_WAVE,
@@ -155,6 +156,7 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         # -- buffer manager state: free-address count plus per-output FIFO
         # queues of (uid, arrival, write_init, src) int tuples ------------------
         self._free = config.addresses
+        self._peak_occ = 0
         self._queues: list[deque[tuple[int, int, int, int]]] = [
             deque() for _ in range(n)
         ]
@@ -191,6 +193,11 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         self.idle_cycles = 0
         self.deadline_overrides = 0
         self.overrun_drops = 0
+        self.policy_drops = 0
+        # Admission policy (normalized by the config); trivial = complete
+        # sharing, consulted never — the seed hot path is untouched.
+        self.policy = config.policy
+        self._policy_trivial = self.policy.trivial
         self.stagger_extra = Counter()
         self._unobstructed: set[int] = set()
         # Cycle at which a finite source (trace replay) ran dry with the
@@ -205,6 +212,9 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
 
     def _queue_depths(self) -> list[int]:
         return [len(q) for q in self._queues]
+
+    def _peak_occupancy(self) -> int:
+        return self._peak_occ
 
     # -- public API -------------------------------------------------------------
     @property
@@ -501,6 +511,9 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         if self._san:
             self.sanitizer.wave_initiated(t, uid)
         self._free -= self._quanta
+        occ = self.config.addresses - self._free
+        if occ > self._peak_occ:
+            self._peak_occ = occ
         self._rec[uid & self._mask][_WRITE_INIT] = t
         self._pend_uid[i] = -1
         self.stats.record_accept(arrival)
@@ -569,15 +582,29 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
         rec[_DST] = dst
         self._in_uid[i] = uid
         self._in_next[i] = 0
-        self._pend_uid[i] = uid
-        self._pend_dst[i] = dst
-        self._pend_arr[i] = t
+        admitted = self._policy_trivial or self._policy_admits(t, dst)
+        if admitted:
+            self._pend_uid[i] = uid
+            self._pend_dst[i] = dst
+            self._pend_arr[i] = t
         if self._san:
             self.sanitizer.packet_injected(t, uid)
         self.stats.record_offer(t)
         if self._tel:
             self.telemetry.events.emit(t, ARRIVE, uid, src=i, dst=dst)
             self._m_arrivals[i].inc()
+        if not admitted:
+            # Refused at the door: no pending store exists, so the packet
+            # competes for nothing; its words still stream (and are
+            # discarded) for the full W cycles, exactly as in the checked
+            # kernel.
+            if self._san:
+                self.sanitizer.packet_dropped(t, uid)
+            self.stats.record_drop(t)
+            self.policy_drops += 1
+            if self._tel:
+                self._emit_drop(t, i, uid, dst, DROP_POLICY)
+            return
         if (
             t >= self.stats.warmup
             and self.next_wave_ok[dst] <= t + 1
@@ -592,6 +619,18 @@ class FastPipelinedSwitch(SwitchTelemetryMixin):
             self._unobstructed.add(uid)
         if self.config.credit_flow:
             self._credits[i] -= 1
+
+    def _policy_admits(self, t: int, dst: int) -> bool:
+        """Consult the admission policy.  ``self._free`` at the arrival
+        phase *is* the canonical free count (phase-0 releases and this
+        cycle's write already applied); ``held`` adds the at-most-one
+        departure chain in flight per output to the queue depths."""
+        next_ok = self.next_wave_ok
+        held = [
+            len(q) + (1 if next_ok[j] > t else 0)
+            for j, q in enumerate(self._queues)
+        ]
+        return self.policy.admit(dst, self._free, held, self._quanta)
 
     def _drop_pending(self, t: int, i: int, cause: str) -> None:
         uid = self._pend_uid[i]

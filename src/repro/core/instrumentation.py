@@ -49,6 +49,9 @@ METRIC_HELP: dict[str, str] = {
         "Buffer words in use at the last telemetry sample.",
     "repro_buffer_free_addresses":
         "Free buffer addresses at the last telemetry sample.",
+    "repro_buffer_peak_occupancy":
+        "High-water mark of buffer addresses in use, updated at every "
+        "allocation since the start of the run.",
     "repro_ct_latency_cycles":
         "Cut-through latency (head-out minus head-in) in cycles.",
     "repro_input_credits":
@@ -115,6 +118,7 @@ class SwitchTelemetryMixin:
                         for k in range(b)]
         self._m_occupancy = m.gauge("repro_buffer_occupancy")
         self._m_free = m.gauge("repro_buffer_free_addresses")
+        self._m_peak = m.gauge("repro_buffer_peak_occupancy")
         self._m_latency = m.histogram("repro_ct_latency_cycles")
         self._m_in_credits = [m.gauge("repro_input_credits", port=i)
                               for i in range(n)]
@@ -143,6 +147,16 @@ class SwitchTelemetryMixin:
     def _telemetry_state(self) -> tuple[int, int, list[int]]:
         """(buffer occupancy, free addresses, per-input credit levels) at the
         start-of-cycle sampling instant."""
+        raise NotImplementedError
+
+    def _peak_occupancy(self) -> int:
+        """High-water mark of addresses in use, updated at every allocation.
+
+        Both kernels see releases become visible at the same arbitration
+        instants (the fast kernel's ``_free_due`` pops reproduce the checked
+        model's phase-3 frees), so tracking the maximum after each write
+        admission yields exactly ``BufferManager.peak_occupancy``.
+        """
         raise NotImplementedError
 
     # -- shared emission helpers ----------------------------------------------
@@ -186,6 +200,7 @@ class SwitchTelemetryMixin:
         self.telemetry.sample(t, occ)
         self._m_occupancy.set(occ)
         self._m_free.set(free)
+        self._m_peak.set(self._peak_occupancy())
         self._m_cycle.set(t)
         depths = self._queue_depths()
         for gauge, depth in zip(self._m_qdepth, depths):

@@ -40,6 +40,7 @@ from repro.core.latches import InputLatchRow, OutputRegisterRow
 from repro.core.sources import PacketSink, PacketSource, deterministic_payload
 from repro.core.instrumentation import SwitchTelemetryMixin
 from repro.drc.sanitizer import Sanitizer
+from repro.policy import AdmissionPolicy, parse_policy
 from repro.sim.packet import Packet, Word
 from repro.sim.stats import Counter, Histogram, SwitchStats
 from repro.telemetry import (
@@ -47,6 +48,7 @@ from repro.telemetry import (
     CUT_THROUGH,
     DEPART,
     DROP_HEAD_OVERRUN,
+    DROP_POLICY,
     DROP_QUANTUM_OVERRUN,
     READ_WAVE,
     STORE_WAVE,
@@ -99,6 +101,10 @@ class PipelinedSwitchConfig:
     # cycle of constant latency on the input path and one on the output
     # path; throughput and function are untouched.
     link_pipeline_stages: int = 0
+    # Shared-buffer admission policy (repro.policy): a spec string such as
+    # "complete" / "static:cap=8" / "dynamic:alpha=1.0", an
+    # AdmissionPolicy instance, or None; normalized to an instance here.
+    policy: AdmissionPolicy | str | None = "complete"
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -121,6 +127,16 @@ class PipelinedSwitchConfig:
             raise ConfigError("downstream RTT cannot be negative")
         if self.link_pipeline_stages < 0:
             raise ConfigError("link pipeline stages cannot be negative")
+        self.policy = parse_policy(self.policy)
+        self.policy.validate(n=self.n, addresses=self.addresses,
+                             quanta=self.quanta)
+        if self.credit_flow and not self.policy.trivial:
+            # Credit flow promises losslessness; a refusing policy drops
+            # packets the credit protocol already admitted upstream.
+            raise ConfigError(
+                f"credit_flow cannot be combined with a dropping admission "
+                f"policy ('{self.policy.spec}'); use policy='complete'"
+            )
 
     @property
     def packet_words(self) -> int:
@@ -210,6 +226,12 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         self.idle_cycles = 0
         self.deadline_overrides = 0
         self.overrun_drops = 0  # packets dropped because buffer stayed full
+        self.policy_drops = 0  # packets refused by the admission policy
+        # Admission policy (normalized by the config): trivial policies
+        # (complete sharing) skip the per-arrival consult entirely, so the
+        # seed hot path is untouched.
+        self.policy: AdmissionPolicy = config.policy  # type: ignore[assignment]
+        self._policy_trivial = self.policy.trivial
         # §3.4 instrumentation: packets that found their output idle and its
         # queue empty on arrival would leave with the 2-cycle minimum latency
         # were it not for staggered initiation; their extra delay is the
@@ -228,6 +250,9 @@ class PipelinedSwitch(SwitchTelemetryMixin):
 
     def _queue_depths(self) -> list[int]:
         return [len(q) for q in self.buffer.queues]
+
+    def _peak_occupancy(self) -> int:
+        return self.buffer.peak_occupancy
 
     # -- public API -------------------------------------------------------------
     @property
@@ -633,14 +658,31 @@ class PipelinedSwitch(SwitchTelemetryMixin):
         state.incoming = packet
         state.next_word = 0
         state.discard_current = False
-        state.pending = WriteRequest(in_link=i, dst=dst, uid=packet.uid, arrival_cycle=t)
-        self._sent[packet.uid] = packet
+        admitted = self._policy_trivial or self._policy_admits(t, dst)
+        if admitted:
+            state.pending = WriteRequest(
+                in_link=i, dst=dst, uid=packet.uid, arrival_cycle=t
+            )
+            self._sent[packet.uid] = packet
         if self._san:
             self.sanitizer.packet_injected(t, packet.uid)
         self.stats.record_offer(t)
         if self._tel:
             self.telemetry.events.emit(t, ARRIVE, packet.uid, src=i, dst=dst)
             self._m_arrivals[i].inc()
+        if not admitted:
+            # Refused at the door: no pending write is created, so the
+            # packet competes for nothing — but its words still occupy the
+            # input link for the full W cycles (the wire does not know
+            # about the policy) and are discarded at the latch row.
+            if self._san:
+                self.sanitizer.packet_dropped(t, packet.uid)
+            self.stats.record_drop(t)
+            self.policy_drops += 1
+            if self._tel:
+                self._emit_drop(t, i, packet.uid, dst, DROP_POLICY)
+            state.discard_current = True
+            return
         if (
             t >= self.stats.warmup
             and self.next_wave_ok[dst] <= t + 1
@@ -660,6 +702,25 @@ class PipelinedSwitch(SwitchTelemetryMixin):
             self._unobstructed.add(packet.uid)
         if self.config.credit_flow:
             state.credits -= 1
+
+    def _policy_admits(self, t: int, dst: int) -> bool:
+        """Consult the admission policy with the canonical buffer view.
+
+        ``held[j]`` counts queued packets plus the at-most-one departure
+        chain still in flight for ``j`` (``next_wave_ok[j] > t``), and
+        ``free`` is derived from it rather than from ``free_count``: the
+        :class:`BufferManager` releases a departing packet's addresses one
+        phase earlier on the chain's final cycle than the fast kernel's
+        due-queue does, and the policy must see the same numbers in every
+        kernel (see :mod:`repro.policy.admission`).
+        """
+        q = self.config.quanta
+        held = [len(queue) for queue in self.buffer.queues]
+        for j, ok in enumerate(self.next_wave_ok):
+            if ok > t:
+                held[j] += 1
+        free = self.config.addresses - q * sum(held)
+        return self.policy.admit(dst, free, held, q)
 
     def _drop_packet(self, t: int, i: int, w: WriteRequest, cause: str) -> None:
         state = self._inputs[i]

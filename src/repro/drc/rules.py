@@ -12,9 +12,11 @@ discipline that keeps the reproduction trustworthy:
   the :class:`~repro.telemetry.metrics.MetricsRegistry`, and every call
   site of a metric name uses one consistent label set, so exported series
   merge instead of fragmenting;
-* **scenario-registry coverage** (DRC121) — every public switch kernel is
-  reachable through :mod:`repro.scenario.registry` and the registry never
-  references a kernel that does not exist;
+* **scenario-registry coverage** (DRC121-DRC122) — every public switch
+  kernel is reachable through :mod:`repro.scenario.registry` and the
+  registry never references a kernel that does not exist; every admission
+  policy is registered in :data:`repro.policy.POLICIES` and every drop
+  cause appears in the ``DROP_CAUSES`` taxonomy map;
 * **API shape** (DRC131) — every switch model exposes the harness/run
   interface (the slotted hook trio, ``run`` on the word-level kernels).
 
@@ -552,6 +554,120 @@ class RegistryCoverageRule(Rule):
                 f"word-level kernel {name} is not reachable from "
                 f"repro.scenario.registry (directly or through "
                 f"make_pipelined_switch); register an architecture for it",
+            )
+
+
+@register
+class PolicyCoverageRule(Rule):
+    code = "DRC122"
+    name = "policy-coverage"
+    summary = ("every admission policy implementation is registered in "
+               "repro.policy.POLICIES (so the scenario registry and CLI can "
+               "reach it), and every DROP_* cause constant appears in the "
+               "DROP_CAUSES taxonomy map")
+
+    @staticmethod
+    def _dict_value_names(tree: ast.Module, target: str) -> list[ast.Name]:
+        """Name nodes used as values of the module-level ``target = {...}``."""
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if (value is not None and isinstance(value, ast.Dict)
+                    and any(isinstance(t, ast.Name) and t.id == target
+                            for t in targets)):
+                return [v for v in value.values if isinstance(v, ast.Name)]
+        return []
+
+    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
+        yield from self._check_policies(mods)
+        yield from self._check_drop_causes(mods)
+
+    def _check_policies(self, mods: list[LintModule]) -> Iterator[Violation]:
+        policy_classes = _class_index(mods, "policy")
+        admission = next(
+            (m for m in mods if m.in_src and m.package == "policy"
+             and m.path.name == "admission.py"),
+            None,
+        )
+        if admission is None or not policy_classes:
+            return  # lint scope does not cover the policy package
+        # transitive AdmissionPolicy subclasses, like DRC121's slotted walk
+        bases = {
+            name: {b for b in (_dotted(base) for base in node.bases) if b}
+            for name, node in policy_classes.items()
+        }
+        impls: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, parents in bases.items():
+                if name in impls:
+                    continue
+                for parent in parents:
+                    leaf = parent.rsplit(".", 1)[-1]
+                    if leaf == "AdmissionPolicy" or leaf in impls:
+                        impls.add(name)
+                        changed = True
+                        break
+        public = {name for name in impls if not name.startswith("_")}
+        registered_refs = self._dict_value_names(admission.tree, "POLICIES")
+        registered = {node.id for node in registered_refs}
+        for name in sorted(public - registered):
+            mod = _module_of_class(mods, "policy", name)
+            yield self._hit(
+                mod if mod is not None else admission, policy_classes[name],
+                f"admission policy {name} is not registered in "
+                f"repro.policy.POLICIES; the scenario registry and "
+                f"--policy specs cannot reach it (or prefix the class "
+                f"with '_' if it is internal)",
+            )
+        for node in registered_refs:
+            if node.id not in policy_classes:
+                yield self._hit(
+                    admission, node,
+                    f"POLICIES references {node.id}, which is not an "
+                    f"AdmissionPolicy class in the policy package",
+                )
+
+    def _check_drop_causes(self, mods: list[LintModule]) -> Iterator[Violation]:
+        events = next(
+            (m for m in mods if m.in_src and m.package == "telemetry"
+             and m.path.name == "events.py"),
+            None,
+        )
+        if events is None:
+            return
+        causes: dict[str, ast.Assign] = {}
+        taxonomy: set[str] | None = None
+        for node in events.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "DROP_CAUSES" in names and isinstance(node.value, ast.Tuple):
+                taxonomy = {e.id for e in node.value.elts
+                            if isinstance(e, ast.Name)}
+            else:
+                for name in names:
+                    if (name.startswith("DROP_") and name != "DROP"
+                            and isinstance(node.value, ast.Constant)
+                            and isinstance(node.value.value, str)):
+                        causes[name] = node
+        if taxonomy is None:
+            yield self._hit(
+                events, events.tree,
+                "telemetry/events.py defines no DROP_CAUSES tuple; exporters "
+                "and this lint treat it as the drop-taxonomy map of record",
+            )
+            return
+        for name in sorted(set(causes) - taxonomy):
+            yield self._hit(
+                events, causes[name],
+                f"drop cause {name} is missing from the DROP_CAUSES "
+                f"taxonomy tuple; exporters iterate that map of record",
             )
 
 

@@ -99,7 +99,7 @@ def render_dashboard(now: _Snapshot, prev: _Snapshot | None) -> str:
         lines.append("")
 
     header = (f"{'cell':<28} {'cycle':>12} {'cycles/s':>10} "
-              f"{'departs/s':>10} {'occ':>6} {'drops':>8}")
+              f"{'departs/s':>10} {'occ':>6} {'peak':>6} {'drops':>8}")
     lines.append(header)
     lines.append("-" * len(header))
     for cell in now.cells():
@@ -108,6 +108,7 @@ def render_dashboard(now: _Snapshot, prev: _Snapshot | None) -> str:
         if cycle is None:
             continue
         occ = now.value("repro_buffer_occupancy", 0.0, **sel) or 0.0
+        peak_occ = now.value("repro_buffer_peak_occupancy", 0.0, **sel) or 0.0
         departs = sum(v for (c, _), v in
                       now.grouped("repro_port_departures_total", "port").items()
                       if c == cell)
@@ -127,7 +128,8 @@ def render_dashboard(now: _Snapshot, prev: _Snapshot | None) -> str:
         cps_txt = f"{cps:,.0f}" if cps == cps else "-"
         dps_txt = f"{dps:,.0f}" if dps == dps else "-"
         lines.append(f"{name:<28.28} {cycle:>12,.0f} {cps_txt:>10} "
-                     f"{dps_txt:>10} {occ:>6.0f} {drops:>8.0f}")
+                     f"{dps_txt:>10} {occ:>6.0f} {peak_occ:>6.0f} "
+                     f"{drops:>8.0f}")
 
         depths = now.grouped("repro_port_queue_depth", "port")
         ports = sorted(((p, v) for (c, p), v in depths.items() if c == cell),

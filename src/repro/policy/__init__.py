@@ -1,0 +1,29 @@
+"""Shared-buffer admission policies (see :mod:`repro.policy.admission`)."""
+
+from repro.policy.admission import (
+    POLICIES,
+    AdmissionPolicy,
+    CompleteSharing,
+    DynamicThreshold,
+    K_COMPLETE,
+    K_DYNAMIC,
+    K_RESERVATION,
+    K_STATIC,
+    PortReservation,
+    StaticThreshold,
+    parse_policy,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "CompleteSharing",
+    "StaticThreshold",
+    "DynamicThreshold",
+    "PortReservation",
+    "POLICIES",
+    "parse_policy",
+    "K_COMPLETE",
+    "K_STATIC",
+    "K_DYNAMIC",
+    "K_RESERVATION",
+]

@@ -120,7 +120,8 @@ def _build_output(p, seed):
 
 def _build_shared(p, seed):
     from repro import switches as sw
-    return sw.SharedBuffer(p["n"], p["n"], capacity=p["capacity"], seed=seed)
+    return sw.SharedBuffer(p["n"], p["n"], capacity=p["capacity"], seed=seed,
+                           policy=p["policy"])
 
 
 def _build_crosspoint(p, seed):
@@ -162,7 +163,8 @@ _slotted("windowed", "input queueing with lookahead window w", _build_windowed,
 _slotted("voq", "virtual output queues + matching scheduler", _build_voq,
          {"scheduler": "islip", "iterations": 4})
 _slotted("output", "dedicated per-output queues", _build_output)
-_slotted("shared", "ideal shared buffer (the paper's target)", _build_shared)
+_slotted("shared", "ideal shared buffer (the paper's target)", _build_shared,
+         {"policy": "complete"})
 _slotted("crosspoint", "per-crosspoint queues", _build_crosspoint)
 _slotted("block", "block-crosspoint queues", _build_block, {"block": None})
 _slotted("speedup", "speedup-s fabric + output queues", _build_speedup,
@@ -179,7 +181,7 @@ _PIPELINED_PARAMS: Mapping[str, Any] = {
     "n": 8, "addresses": 256, "width_bits": 16, "depth": None, "quanta": 1,
     "priority": "reads_first", "cut_through": True, "credit_flow": False,
     "credits_per_input": None, "downstream_credits": None, "downstream_rtt": 0,
-    "link_pipeline_stages": 0,
+    "link_pipeline_stages": 0, "policy": "complete",
 }
 
 
@@ -202,6 +204,7 @@ def _pipelined_config(p):
         downstream_credits=p["downstream_credits"],
         downstream_rtt=p["downstream_rtt"],
         link_pipeline_stages=p["link_pipeline_stages"],
+        policy=p["policy"],
     )
 
 
@@ -413,6 +416,16 @@ def validate_scenario(scenario: Scenario) -> ArchitectureDef:
             f"not support drain; drop 'drain' or use one of: "
             f"{', '.join(sorted(a.name for a in REGISTRY.values() if a.drain_ok))}"
         )
+    if "policy" in adef.params and scenario.params.get("policy") is not None:
+        # Parse the admission-policy spec now so a sweep full of cells fails
+        # before any of them runs, with the policy layer's did-you-mean text.
+        from repro.core.errors import ConfigError
+        from repro.policy import parse_policy
+
+        try:
+            parse_policy(scenario.params["policy"])
+        except ConfigError as exc:
+            raise ScenarioError(f"scenario {scenario.name!r}: {exc}") from exc
     return adef
 
 
@@ -644,6 +657,8 @@ def _execute_slotted(prep: Prepared) -> dict[str, Any]:
         sw.run(prep.source, sc.horizon)
     stats = sw.stats.summary()
     stats["occupancy"] = sw.occupancy()
+    if hasattr(sw, "policy_drops"):  # shared buffer with an admission policy
+        stats["policy_drops"] = sw.policy_drops
     return stats
 
 
@@ -680,6 +695,7 @@ def _execute_word(prep: Prepared) -> dict[str, Any]:
             idle_cycles=sw.idle_cycles,
             deadline_overrides=sw.deadline_overrides,
             overrun_drops=sw.overrun_drops,
+            policy_drops=sw.policy_drops,
         )
     elif hasattr(sw, "memory_reads"):  # wide-memory baseline
         stats.update(

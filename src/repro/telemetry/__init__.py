@@ -29,8 +29,10 @@ from repro.telemetry.events import (
     DEPART,
     DROP,
     DROP_BUFFER_FULL,
+    DROP_CAUSES,
     DROP_HEAD_OVERRUN,
     DROP_KNOCKOUT,
+    DROP_POLICY,
     DROP_QUANTUM_OVERRUN,
     READ_WAVE,
     STORE_WAVE,
@@ -128,4 +130,6 @@ __all__ = [
     "DROP_QUANTUM_OVERRUN",
     "DROP_BUFFER_FULL",
     "DROP_KNOCKOUT",
+    "DROP_POLICY",
+    "DROP_CAUSES",
 ]

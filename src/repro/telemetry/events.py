@@ -47,6 +47,20 @@ DROP_QUANTUM_OVERRUN = "quantum_overrun"  # own next quantum reuses latch 0 (§3
 DROP_BUFFER_FULL = "buffer_full"
 # The knockout switch's concentrator discards losers beyond its l paths:
 DROP_KNOCKOUT = "knockout"
+# An admission policy (repro.policy) refused the packet at arrival:
+DROP_POLICY = "policy"
+
+#: The complete drop taxonomy, in canonical display order.  Every
+#: ``DROP_*`` cause constant in this module must appear here — exporters
+#: and the DRC registry-coverage lint (DRC122) treat this tuple as the
+#: map of record.
+DROP_CAUSES = (
+    DROP_HEAD_OVERRUN,
+    DROP_QUANTUM_OVERRUN,
+    DROP_BUFFER_FULL,
+    DROP_KNOCKOUT,
+    DROP_POLICY,
+)
 
 # Which port identifies an event of each kind (input or output side).
 _INPUT_SIDE = frozenset((ARRIVE, STORE_WAVE, DROP))

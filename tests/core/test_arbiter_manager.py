@@ -132,3 +132,45 @@ class TestBufferManager:
         c = bm.allocate(uid=3, src=0, dst=0, arrival=2, cycle=3)
         assert {b.addr, c.addr} == {0, 1}
         assert c.addr == addr_a  # the freed address went to the back
+
+    def test_multi_quanta_free_list_deterministic(self):
+        """Releasing multi-quanta packets returns their addresses to the
+        free list in release order, each packet's block in allocation
+        order — so a later run replays the exact same address sequence
+        (the checkpoint and equivalence planes both rely on this)."""
+        bm = BufferManager(8, 2)
+        a = bm.allocate(uid=1, src=0, dst=0, arrival=0, cycle=0, quanta=3)
+        b = bm.allocate(uid=2, src=1, dst=1, arrival=0, cycle=1, quanta=2)
+        c = bm.allocate(uid=3, src=0, dst=0, arrival=1, cycle=2, quanta=3)
+        assert a.addrs == [0, 1, 2]
+        assert b.addrs == [3, 4]
+        assert c.addrs == [5, 6, 7]
+        assert bm.free_count == 0
+        # release out of allocation order: b, then c, then a
+        bm.start_departure(1, 3)
+        bm.release(b)
+        bm.start_departure(0, 4)
+        bm.start_departure(0, 5)
+        bm.release(c)
+        bm.release(a)
+        assert list(bm._free) == [3, 4, 5, 6, 7, 0, 1, 2]
+        # reallocation consumes that exact sequence front-to-back
+        d = bm.allocate(uid=4, src=0, dst=0, arrival=6, cycle=6, quanta=4)
+        e = bm.allocate(uid=5, src=0, dst=1, arrival=6, cycle=7, quanta=4)
+        assert d.addrs == [3, 4, 5, 6]
+        assert e.addrs == [7, 0, 1, 2]
+
+    def test_buffer_full_message_names_geometry(self):
+        """The BufferFullError line alone must triage a capacity drop:
+        demand, free/total addresses, and the destination queue depth."""
+        bm = BufferManager(4, 2)
+        for uid in range(3):
+            bm.allocate(uid=uid, src=0, dst=1, arrival=0, cycle=uid)
+        with pytest.raises(BufferFullError) as exc:
+            bm.allocate(uid=9, src=0, dst=1, arrival=7, cycle=8, quanta=2)
+        msg = str(exc.value)
+        assert "need 2 addresses" in msg
+        assert "packet 9" in msg
+        assert "cycle 8" in msg
+        assert "only 1 of 4 free" in msg
+        assert "3 packets queued for output 1" in msg

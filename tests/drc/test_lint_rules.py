@@ -203,6 +203,89 @@ def test_drc121_word_kernel_reachable_via_factory_clean(tmp_path):
     assert run_lint(["src"], root=root).violations == []
 
 
+# -- policy and drop-taxonomy coverage (DRC122) -------------------------------
+
+_ADMISSION_OK = (
+    "class AdmissionPolicy:\n    pass\n"
+    "class CompleteSharing(AdmissionPolicy):\n    pass\n"
+    "POLICIES = {'complete': CompleteSharing}\n"
+)
+
+_EVENTS_OK = (
+    "DROP_BUFFER_FULL = 'buffer_full'\n"
+    "DROP_POLICY = 'policy'\n"
+    "DROP_CAUSES = (DROP_BUFFER_FULL, DROP_POLICY)\n"
+)
+
+
+def test_drc122_unregistered_policy(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/policy/admission.py": (
+            _ADMISSION_OK + "class Orphan(AdmissionPolicy):\n    pass\n"
+        ),
+    })
+    result = run_lint(["src"], root=root)
+    assert any(
+        v.code == "DRC122" and "Orphan" in v.message for v in result.violations
+    )
+
+
+def test_drc122_underscore_policy_is_internal(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/policy/admission.py": (
+            _ADMISSION_OK + "class _Experimental(AdmissionPolicy):\n    pass\n"
+        ),
+    })
+    assert run_lint(["src"], root=root).violations == []
+
+
+def test_drc122_registry_references_missing_policy(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/policy/admission.py": (
+            "class AdmissionPolicy:\n    pass\n"
+            "class CompleteSharing(AdmissionPolicy):\n    pass\n"
+            "POLICIES = {'complete': CompleteSharing, 'ghost': GhostPolicy}\n"
+        ),
+    })
+    result = run_lint(["src"], root=root)
+    assert any(
+        v.code == "DRC122" and "GhostPolicy" in v.message
+        for v in result.violations
+    )
+
+
+def test_drc122_drop_cause_missing_from_taxonomy(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/telemetry/events.py": (
+            _EVENTS_OK + "DROP_NOVEL = 'novel'\n"
+        ),
+    })
+    result = run_lint(["src"], root=root)
+    assert any(
+        v.code == "DRC122" and "DROP_NOVEL" in v.message
+        for v in result.violations
+    )
+
+
+def test_drc122_missing_taxonomy_tuple(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/telemetry/events.py": "DROP_BUFFER_FULL = 'buffer_full'\n",
+    })
+    result = run_lint(["src"], root=root)
+    assert any(
+        v.code == "DRC122" and "DROP_CAUSES" in v.message
+        for v in result.violations
+    )
+
+
+def test_drc122_clean_tree(tmp_path):
+    root = _tree(tmp_path, {
+        "src/repro/policy/admission.py": _ADMISSION_OK,
+        "src/repro/telemetry/events.py": _EVENTS_OK,
+    })
+    assert run_lint(["src"], root=root).violations == []
+
+
 def test_drc131_slotted_switch_missing_hooks(tmp_path):
     root = _tree(tmp_path, {
         "src/repro/switches/models.py": (
@@ -310,7 +393,7 @@ def test_rule_catalog_codes_are_stable():
     codes = [rule.code for rule in rule_catalog()]
     assert codes == sorted(codes)
     assert codes == ["DRC101", "DRC102", "DRC103", "DRC104",
-                     "DRC111", "DRC112", "DRC121", "DRC131"]
+                     "DRC111", "DRC112", "DRC121", "DRC122", "DRC131"]
     assert all(rule.name and rule.summary for rule in rule_catalog())
 
 

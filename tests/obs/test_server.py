@@ -173,6 +173,26 @@ class TestTopDashboard:
         finally:
             server.stop()
 
+    def test_peak_occupancy_column(self):
+        """The dashboard surfaces the repro_buffer_peak_occupancy gauge
+        as its own column, from canned families (no server needed)."""
+        from repro.obs.promparse import parse
+        from repro.obs.top import _Snapshot, render_dashboard
+
+        families = parse(
+            "# TYPE repro_cycle gauge\n"
+            "repro_cycle 500\n"
+            "# TYPE repro_buffer_occupancy gauge\n"
+            "repro_buffer_occupancy 7\n"
+            "# TYPE repro_buffer_peak_occupancy gauge\n"
+            "repro_buffer_peak_occupancy 13\n"
+        )
+        text = render_dashboard(_Snapshot(families, 0.0), None)
+        header = next(l for l in text.splitlines() if "cycles/s" in l)
+        assert "peak" in header
+        row = next(l for l in text.splitlines() if "(run)" in l)
+        assert "13" in row and "7" in row
+
     def test_rates_appear_on_second_scrape(self, tmp_path):
         import io
 

@@ -214,6 +214,44 @@ def test_run_horizon_override_and_artifacts(tmp_path, capsys):
     assert merged[0]["warmup"] == 100
 
 
+def test_run_policy_override(tmp_path, capsys):
+    import json
+
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="pipelined_fast", horizon=2000,
+             params={"n": 4, "addresses": 16},
+             traffic={"kind": "renewal_tape", "load": 0.9}).dump(path)
+    out_dir = tmp_path / "out"
+    rc = main(["run", str(path), "--policy", "static:cap=2",
+               "--out", str(out_dir)])
+    assert rc == 0
+    merged = json.loads((out_dir / "results.json").read_text())
+    assert merged[0]["params"]["policy"] == "static:cap=2"
+    assert merged[0]["stats"]["policy_drops"] > 0
+
+
+def test_run_bad_policy_clean_error(tmp_path, capsys):
+    from repro.scenario import Scenario
+
+    path = tmp_path / "one.json"
+    Scenario(name="one", arch="pipelined_fast", horizon=500,
+             params={"n": 4, "addresses": 16},
+             traffic={"kind": "renewal_tape", "load": 0.5}).dump(path)
+    rc = main(["run", str(path), "--policy", "dynamc:alpha=1.0"])
+    assert rc == 2
+    assert "did you mean 'dynamic'" in capsys.readouterr().err
+
+
+def test_bench_policy_flag(capsys):
+    rc = main(["bench", "--cycles", "400", "--kernel", "all",
+               "--policy", "dynamic:alpha=1.0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "batch" in out
+
+
 def test_sweep_parallel_matches_sequential_artifacts(tmp_path):
     import json
 
