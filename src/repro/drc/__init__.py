@@ -13,8 +13,14 @@ See ``ARCHITECTURE.md`` §13 for the full rule catalog and the mapping of
 sanitizer invariants to paper sections.
 """
 
+from repro.drc.baseline import baseline_result, new_findings
+from repro.drc.cache import ENGINE_VERSION, rules_fingerprint
+from repro.drc.dataflow import DataflowEngine, ParamEffects
+from repro.drc.fixes import FIXABLE_CODES, apply_fixes, fix_source
+from repro.drc.graph import ProjectGraph, module_qname
 from repro.drc.linter import (
     FORMATTERS,
+    SKIP_SENTINEL,
     LintResult,
     discover_files,
     format_json,
@@ -23,7 +29,14 @@ from repro.drc.linter import (
     parse_suppressions,
     run_lint,
 )
-from repro.drc.rules import RULES, LintModule, Rule, Violation, rule_catalog
+from repro.drc.rules import (
+    RULES,
+    LintModule,
+    Project,
+    Rule,
+    Violation,
+    rule_catalog,
+)
 from repro.drc.sanitizer import (
     ADDRESS_MISMATCH,
     BANK_CONFLICT,
@@ -41,22 +54,35 @@ __all__ = [
     "BANK_CONFLICT",
     "CONSERVATION",
     "DOUBLE_INITIATION",
+    "DataflowEngine",
+    "ENGINE_VERSION",
+    "FIXABLE_CODES",
     "FORMATTERS",
     "INVARIANTS",
     "LintModule",
     "LintResult",
     "NULL_SANITIZER",
     "NullSanitizer",
+    "ParamEffects",
+    "Project",
+    "ProjectGraph",
     "RULES",
     "Rule",
+    "SKIP_SENTINEL",
     "Sanitizer",
     "SanitizerError",
     "Violation",
+    "apply_fixes",
+    "baseline_result",
     "discover_files",
+    "fix_source",
     "format_json",
     "format_sarif",
     "format_text",
+    "module_qname",
+    "new_findings",
     "parse_suppressions",
     "rule_catalog",
+    "rules_fingerprint",
     "run_lint",
 ]

@@ -1,0 +1,67 @@
+"""Baseline mode: ``repro lint --diff <rev>`` reports only new findings.
+
+Retro-fitting a stricter lint onto a living codebase is usually blocked
+by the existing backlog.  Baseline mode unblocks it: the tree at a git
+revision is extracted (``git archive``, no working-tree mutation) into a
+temp directory and linted with the *current* engine and rule catalog;
+findings present there are accepted as the baseline, and the working
+tree only fails for findings *beyond* it.
+
+Comparison is a multiset over ``(path, code, message)`` — line numbers
+are deliberately excluded so reflowing a file does not resurrect its
+baselined findings, while a second instance of a baselined finding in
+the same file still counts as new.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tarfile
+import tempfile
+from collections import Counter
+from io import BytesIO
+from pathlib import Path
+from typing import Iterable
+
+from repro.drc.linter import LintResult, Violation, run_lint
+
+FindingKey = tuple[str, str, str]
+
+
+def _keys(violations: Iterable[Violation]) -> Counter[FindingKey]:
+    return Counter((v.path, v.code, v.message) for v in violations)
+
+
+def baseline_result(rev: str, root: Path,
+                    targets: Iterable[str]) -> LintResult:
+    """Lint the tree at ``rev`` (same targets, current rules)."""
+    proc = subprocess.run(
+        ["git", "archive", rev], cwd=root, capture_output=True, check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"git archive {rev!r} failed: "
+            f"{proc.stderr.decode(errors='replace').strip()}")
+    with tempfile.TemporaryDirectory(prefix="drc-baseline-") as tmp:
+        tmproot = Path(tmp)
+        with tarfile.open(fileobj=BytesIO(proc.stdout)) as tar:
+            tar.extractall(tmproot, filter="data")
+        present = [t for t in targets if (tmproot / t).exists()]
+        return run_lint(present, root=tmproot)
+
+
+def new_findings(current: LintResult,
+                 baseline: LintResult) -> list[Violation]:
+    """Current findings in excess of the baseline multiset, sorted."""
+    budget = _keys(baseline.all_findings())
+    out: list[Violation] = []
+    for v in current.all_findings():
+        key = (v.path, v.code, v.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            out.append(v)
+    return sorted(out, key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+__all__ = ["baseline_result", "new_findings"]

@@ -1,0 +1,164 @@
+"""Autofixes for mechanically-correctable findings (``repro lint --fix``).
+
+Two codes have a fix that is always semantics-preserving with respect to
+the *intent* of the rule, so the linter can apply it:
+
+* **DRC104** (unordered set iteration) — wrap the iterated set
+  expression in ``sorted(...)``.  The loop visits the same elements in a
+  deterministic order; nothing else changes.
+* **DRC101** (wall-clock imports) — drop the offending names from a
+  ``from time import ...`` statement in a deterministic package; if
+  nothing survives, delete the statement.  Call-site fixes are *not*
+  attempted (replacing ``time.time()`` needs a cycle-counter source the
+  fixer cannot infer), so those findings remain for a human.
+
+Fixes are computed as byte-offset edits against the original source and
+applied innermost-first, so nested fixable sites (a set comprehension
+iterating a set, itself iterated by a loop) compose correctly.  Findings
+suppressed with ``# drc: disable=...`` on their line are left alone.
+
+The fixer is **idempotent**: fixed code no longer matches the rule
+pattern (``sorted(...)`` is not a set expression; a deleted import is
+gone), so a second pass makes zero edits — asserted by the test suite
+by fixing twice and diffing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.drc.linter import discover_files, parse_suppressions
+from repro.drc.rules import (
+    LintModule,
+    SetIterationRule,
+    _WALL_CLOCK,
+    _deterministic_scope,
+)
+
+FIXABLE_CODES = frozenset({"DRC101", "DRC104"})
+
+
+@dataclass(frozen=True)
+class _Edit:
+    """Replace ``source[start:end]`` with ``text`` (pure insert when
+    ``start == end``)."""
+
+    start: int
+    end: int
+    text: str
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _offset(starts: list[int], lineno: int, col: int) -> int:
+    return starts[lineno - 1] + col
+
+
+def _allowed(suppressions: dict[int, set[str] | None], line: int,
+             code: str) -> bool:
+    codes = suppressions.get(line, ...)
+    if codes is ...:
+        return True
+    return not (codes is None or code in codes)  # type: ignore[operator]
+
+
+def fix_source(relpath: str, source: str) -> tuple[str, int]:
+    """Apply every available fix; return (new source, fixes applied)."""
+    try:
+        mod = LintModule.parse(Path(relpath), relpath, source)
+    except (SyntaxError, ValueError):
+        return source, 0
+    if not _deterministic_scope(mod):
+        return source, 0
+    suppressions = parse_suppressions(source)
+    starts = _line_starts(source)
+    edits: list[_Edit] = []
+    n_fixes = 0
+
+    checker = SetIterationRule()
+    for node in ast.walk(mod.tree):
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if not checker._is_set_expr(it):
+                continue
+            if not _allowed(suppressions, it.lineno, "DRC104"):
+                continue
+            if it.end_lineno is None or it.end_col_offset is None:
+                continue
+            a = _offset(starts, it.lineno, it.col_offset)
+            b = _offset(starts, it.end_lineno, it.end_col_offset)
+            edits.append(_Edit(a, a, "sorted("))
+            edits.append(_Edit(b, b, ")"))
+            n_fixes += 1
+
+    for node in ast.walk(mod.tree):
+        if not (isinstance(node, ast.ImportFrom) and node.module == "time"):
+            continue
+        bad = [a for a in node.names if f"time.{a.name}" in _WALL_CLOCK]
+        if not bad:
+            continue
+        if not _allowed(suppressions, node.lineno, "DRC101"):
+            continue
+        if node.end_lineno is None or node.end_col_offset is None:
+            continue
+        keep = [a for a in node.names if f"time.{a.name}" not in _WALL_CLOCK]
+        a = _offset(starts, node.lineno, node.col_offset)
+        b = _offset(starts, node.end_lineno, node.end_col_offset)
+        if keep:
+            names = ", ".join(
+                al.name if al.asname is None else f"{al.name} as {al.asname}"
+                for al in keep)
+            edits.append(_Edit(a, b, f"from time import {names}"))
+        else:
+            # delete the whole statement, trailing newline included
+            while b < len(source) and source[b] != "\n":
+                b += 1
+            if b < len(source):
+                b += 1
+            edits.append(_Edit(a, b, ""))
+        n_fixes += 1
+
+    if not edits:
+        return source, 0
+    out = source
+    for edit in sorted(edits, key=lambda e: (e.start, e.end), reverse=True):
+        out = out[:edit.start] + edit.text + out[edit.end:]
+    return out, n_fixes
+
+
+def apply_fixes(paths: Iterable[str | Path],
+                root: Path | None = None) -> dict[str, int]:
+    """Fix every file under ``paths`` in place; relpath -> fixes applied
+    (only files that changed appear)."""
+    root = Path.cwd() if root is None else root
+    out: dict[str, int] = {}
+    for f in discover_files(paths, root=root):
+        try:
+            rel = f.relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        try:
+            source = f.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        fixed, n = fix_source(rel, source)
+        if n and fixed != source:
+            f.write_text(fixed, encoding="utf-8")
+            out[rel] = n
+    return out
+
+
+__all__ = ["FIXABLE_CODES", "apply_fixes", "fix_source"]

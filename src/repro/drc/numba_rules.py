@@ -1,0 +1,257 @@
+"""Numba-compatibility rules (DRC161-162).
+
+``repro.core._batchcore`` compiles its cycle kernel with ``@njit`` when
+numba is installed, but CI runs mostly without numba — so a kernel edit
+that trips nopython mode (a dict literal, an f-string, a stray
+``print``) passes every test locally and only explodes on the one
+runner with numba, deep inside a type-inference traceback.  These rules
+reject the same constructs *statically*, without importing numba.
+
+**Jit roots** are functions whose decorator list contains a name ending
+in ``njit`` or ``jit`` — this covers ``numba.njit``, ``_batchcore``'s
+local ``njit`` shim, and parametrised forms like ``@njit(cache=True)``.
+Analysis walks each root's body and recurses into project functions the
+root calls *that are themselves jit-decorated* (numba inlines those).
+
+**DRC161** flags constructs outside the supported nopython subset:
+dict/set literals and comprehensions, generator expressions,
+try/raise/with, lambdas, nested def/class, f-strings, yield/await,
+global/nonlocal/del, string or bytes constants (other than the
+docstring), calls to non-whitelisted builtins, and ``numpy`` calls
+outside a conservative allow-list.
+
+**DRC162** flags calls from a jit kernel to a resolved in-project
+function that is *not* jit-decorated: numba falls back to an object-mode
+dispatch (or refuses outright), defeating the kernel's purpose.
+
+Both rules are intentionally conservative about what they cannot
+resolve: calls through local variables or unknown attributes are skipped
+rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterator
+
+from repro.drc.graph import FunctionInfo, ProjectGraph, imports_in, module_qname
+from repro.drc.rules import Project, Rule, Violation, register
+
+_JIT_LEAVES = {"njit", "jit"}
+
+_ALLOWED_BUILTINS = {
+    "range", "len", "min", "max", "abs", "int", "float", "bool",
+    "divmod", "enumerate", "zip", "round", "tuple",
+}
+
+_ALLOWED_NUMPY = {
+    "zeros", "ones", "empty", "full", "arange",
+    "zeros_like", "ones_like", "empty_like",
+    "searchsorted", "argsort", "sort", "dot", "sum", "prod", "cumsum",
+    "minimum", "maximum", "sqrt", "floor", "ceil", "abs",
+    "int32", "int64", "uint64", "float32", "float64", "bool_", "intp",
+}
+
+_DENIED_NODES: dict[type[ast.AST], str] = {
+    ast.Dict: "dict literal",
+    ast.DictComp: "dict comprehension",
+    ast.Set: "set literal",
+    ast.SetComp: "set comprehension",
+    ast.GeneratorExp: "generator expression",
+    ast.Try: "try/except block",
+    ast.Raise: "raise statement",
+    ast.With: "with block",
+    ast.AsyncWith: "async with block",
+    ast.Lambda: "lambda",
+    ast.ClassDef: "class definition",
+    ast.JoinedStr: "f-string",
+    ast.Yield: "yield",
+    ast.YieldFrom: "yield from",
+    ast.Await: "await",
+    ast.Global: "global statement",
+    ast.Nonlocal: "nonlocal statement",
+    ast.Delete: "del statement",
+}
+
+
+def is_jit(fn: FunctionInfo) -> bool:
+    return any(name.rsplit(".", 1)[-1] in _JIT_LEAVES
+               for name in fn.decorator_names())
+
+
+class _NumbaAnalysis:
+    def __init__(self, project: Project) -> None:
+        self.graph: ProjectGraph = project.graph
+        self.findings: dict[str, list[Violation]] = {
+            "DRC161": [], "DRC162": [],
+        }
+        roots = [fn for fn in sorted(self.graph.functions.values(),
+                                     key=lambda f: f.qname)
+                 if fn.module.in_src and is_jit(fn)]
+        seen: set[str] = set()
+        queue = list(roots)
+        while queue:
+            fn = queue.pop(0)
+            if fn.qname in seen:
+                continue
+            seen.add(fn.qname)
+            queue.extend(self._walk_kernel(fn))
+
+    def _walk_kernel(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Flag unsupported constructs; return jit callees to recurse on."""
+        mod = fn.module
+        local_env = imports_in(
+            [s for s in ast.walk(fn.node) if isinstance(s, ast.stmt)],
+            module_qname(mod.relpath), False,
+        )
+        local_names = {a.arg for a in fn.node.args.args}
+        local_names.update(a.arg for a in fn.node.args.posonlyargs)
+        local_names.update(a.arg for a in fn.node.args.kwonlyargs)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            for target in getattr(node, "targets", []):
+                if isinstance(target, ast.Name):
+                    local_names.add(target.id)
+            target = getattr(node, "target", None)
+            if isinstance(target, ast.Name):
+                local_names.add(target.id)
+        body = fn.node.body
+        docstring: ast.AST | None = None
+        if (body and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)):
+            docstring = body[0].value
+        callees: list[FunctionInfo] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                kind = _DENIED_NODES.get(type(node))
+                if (kind is None and isinstance(node, ast.FunctionDef)
+                        and node is not fn.node):
+                    kind = "nested function definition"
+                if kind is not None:
+                    self._flag161(mod, node, fn,
+                                  f"{kind} is outside the nopython subset")
+                    continue
+                if (isinstance(node, ast.Constant)
+                        and isinstance(node.value, (str, bytes))
+                        and node is not docstring):
+                    self._flag161(
+                        mod, node, fn,
+                        "string/bytes constant forces python-object "
+                        "handling in nopython mode")
+                    continue
+                if isinstance(node, ast.Call):
+                    callees.extend(
+                        self._check_call(mod, node, fn, local_env,
+                                         local_names))
+        return callees
+
+    def _check_call(self, mod: object, node: ast.Call, fn: FunctionInfo,
+                    local_env: dict[str, str],
+                    local_names: set[str]) -> list[FunctionInfo]:
+        from repro.drc.rules import LintModule
+
+        assert isinstance(mod, LintModule)
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in local_names:
+                return []
+            if name in _ALLOWED_BUILTINS:
+                return []
+            qname = self.graph.resolve_node(mod, func, local_env)
+            callee = self.graph.functions.get(qname or "")
+            if callee is not None:
+                return self._project_call(mod, node, fn, callee)
+            if hasattr(builtins, name):
+                self._flag161(
+                    mod, node, fn,
+                    f"builtin {name}() is outside the supported nopython "
+                    f"subset")
+            return []
+        if isinstance(func, ast.Attribute):
+            qname = self.graph.resolve_node(mod, func, local_env)
+            if qname is None:
+                return []
+            if qname.startswith("numpy."):
+                leaf = qname.rsplit(".", 1)[-1]
+                if leaf not in _ALLOWED_NUMPY:
+                    self._flag161(
+                        mod, node, fn,
+                        f"numpy.{leaf}() is outside the numba-supported "
+                        f"numpy subset")
+                return []
+            callee = self.graph.functions.get(qname)
+            if callee is not None:
+                return self._project_call(mod, node, fn, callee)
+        return []
+
+    def _project_call(self, mod: object, node: ast.Call, fn: FunctionInfo,
+                      callee: FunctionInfo) -> list[FunctionInfo]:
+        from repro.drc.rules import LintModule
+
+        assert isinstance(mod, LintModule)
+        if is_jit(callee):
+            return [callee]
+        self.findings["DRC162"].append(Violation(
+            "DRC162", mod.relpath, node.lineno, node.col_offset + 1,
+            f"jit kernel {fn.name} calls project function "
+            f"{callee.name}(), which is not jit-decorated; numba cannot "
+            f"compile the call in nopython mode — decorate "
+            f"{callee.name} with @njit or inline it",
+        ))
+        return []
+
+    def _flag161(self, mod: object, node: ast.AST, fn: FunctionInfo,
+                 detail: str) -> None:
+        from repro.drc.rules import LintModule
+
+        assert isinstance(mod, LintModule)
+        self.findings["DRC161"].append(Violation(
+            "DRC161", mod.relpath, getattr(node, "lineno", fn.node.lineno),
+            getattr(node, "col_offset", 0) + 1,
+            f"jit kernel {fn.name}: {detail}; this compiles only in "
+            f"object mode (or not at all) and will fail on the numba "
+            f"runner",
+        ))
+
+
+def _analysis(project: Project) -> _NumbaAnalysis:
+    cached = getattr(project, "_numba_analysis", None)
+    if isinstance(cached, _NumbaAnalysis):
+        return cached
+    analysis = _NumbaAnalysis(project)
+    project._numba_analysis = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+@register
+class NumbaConstructRule(Rule):
+    code = "DRC161"
+    name = "numba-unsupported-construct"
+    summary = ("jit kernels must stay inside the nopython subset: no "
+               "dict/set/str objects, exceptions, closures, or "
+               "unsupported numpy/builtin calls")
+    scope = "project"
+    version = 1
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        yield from _analysis(project).findings["DRC161"]
+
+
+@register
+class NumbaUntypedCallRule(Rule):
+    code = "DRC162"
+    name = "numba-untyped-call"
+    summary = ("jit kernels may only call other jit-decorated project "
+               "functions")
+    scope = "project"
+    version = 1
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        yield from _analysis(project).findings["DRC162"]
+
+
+__all__ = ["NumbaConstructRule", "NumbaUntypedCallRule", "is_jit"]

@@ -31,9 +31,13 @@ cross-reference files.  Suppress a finding on its line with
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.drc.graph import ClassInfo, ProjectGraph
 
 #: top-level ``repro`` subpackages whose code must be seed-deterministic
 DETERMINISM_PACKAGES = frozenset({"sim", "core", "switches", "fabric", "network"})
@@ -108,17 +112,44 @@ class LintModule:
                    source=source, package=package, in_src=in_src)
 
 
+@dataclass
+class Project:
+    """The whole lint invocation: parsed modules plus the lazily built
+    whole-program graph project rules resolve names through."""
+
+    mods: list[LintModule]
+    _graph: "ProjectGraph | None" = field(default=None, repr=False)
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        if self._graph is None:
+            from repro.drc.graph import ProjectGraph
+
+            self._graph = ProjectGraph(self.mods)
+        return self._graph
+
+
 class Rule:
-    """Base class: per-module and/or project-wide checks (see module doc)."""
+    """Base class: per-module or project-wide checks (see module doc).
+
+    ``scope`` decides where the engine runs the rule ("module" rules run
+    per file, possibly in worker processes, and their findings are cached
+    per file; "project" rules run once over the whole collection).
+    ``version`` feeds the incremental-cache fingerprint: bump it whenever
+    a change to the rule can alter its findings, so stale cached results
+    are invalidated.
+    """
 
     code: str = "DRC000"
     name: str = ""
     summary: str = ""
+    scope: str = "module"
+    version: int = 1
 
     def check_module(self, mod: LintModule) -> Iterator[Violation]:
         return iter(())
 
-    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
+    def check_project(self, project: Project) -> Iterator[Violation]:
         return iter(())
 
     def _hit(self, mod: LintModule, node: ast.AST, message: str) -> Violation:
@@ -322,10 +353,11 @@ class LabelConsistencyRule(Rule):
     name = "inconsistent-metric-labels"
     summary = ("every call site of one metric name must use the same label "
                "keys, or exported series fragment")
+    scope = "project"
 
-    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
+    def check_project(self, project: Project) -> Iterator[Violation]:
         sites: dict[str, list[_LabelSite]] = {}
-        for mod in mods:
+        for mod in project.mods:
             if not mod.in_src:
                 continue
             for node in ast.walk(mod.tree):
@@ -359,72 +391,20 @@ class LabelConsistencyRule(Rule):
                     )
 
 
-def _class_index(mods: Iterable[LintModule], package: str) -> dict[str, ast.ClassDef]:
-    """name -> ClassDef for every class defined in a repro subpackage."""
-    classes: dict[str, ast.ClassDef] = {}
-    for mod in mods:
-        if not mod.in_src or mod.package != package:
-            continue
-        for node in ast.walk(mod.tree):
-            if isinstance(node, ast.ClassDef):
-                classes[node.name] = node
-    return classes
-
-
-def _module_of_class(mods: Iterable[LintModule], package: str,
-                     name: str) -> LintModule | None:
-    for mod in mods:
-        if not mod.in_src or mod.package != package:
-            continue
-        for node in ast.walk(mod.tree):
-            if isinstance(node, ast.ClassDef) and node.name == name:
-                return mod
-    return None
-
-
-def _slotted_subclasses(classes: dict[str, ast.ClassDef]) -> set[str]:
-    """Transitive subclasses of SlottedSwitch among ``classes``."""
-    bases = {
-        name: {b for b in (_dotted(base) for base in node.bases) if b}
-        for name, node in classes.items()
-    }
-    out: set[str] = set()
-    changed = True
-    while changed:
-        changed = False
-        for name, parents in bases.items():
-            if name in out:
-                continue
-            for parent in parents:
-                leaf = parent.rsplit(".", 1)[-1]
-                if leaf == "SlottedSwitch" or leaf in out:
-                    out.add(name)
-                    changed = True
-                    break
-    return out
-
-
-def _mro_methods(classes: dict[str, ast.ClassDef], name: str) -> set[str]:
-    """Method names defined along the in-package inheritance chain."""
-    methods: set[str] = set()
-    seen: set[str] = set()
-    stack = [name]
-    while stack:
-        cls = stack.pop()
-        if cls in seen:
-            continue
-        seen.add(cls)
-        node = classes.get(cls)
-        if node is None:
-            continue
-        for item in node.body:
-            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                methods.add(item.name)
-        for base in node.bases:
-            dotted = _dotted(base)
-            if dotted:
-                stack.append(dotted.rsplit(".", 1)[-1])
-    return methods
+def _hierarchy_classes(project: Project, root_name: str,
+                       package: str) -> list["ClassInfo"]:
+    """Exact transitive subclasses (roots included) of every in-src class
+    named ``root_name`` in ``package``, resolved through the graph —
+    restricted to in-src classes defined in that package (the public
+    surface the registry contracts cover)."""
+    graph = project.graph
+    seen: dict[str, "ClassInfo"] = {}
+    for root in graph.classes_named(root_name, package=package):
+        for qname in graph.subclasses_of(root.qname):
+            info = graph.classes[qname]
+            if info.module.in_src and info.module.package == package:
+                seen[qname] = info
+    return sorted(seen.values(), key=lambda c: c.qname)
 
 
 @register
@@ -434,6 +414,8 @@ class RegistryCoverageRule(Rule):
     summary = ("every public switch kernel is registered in "
                "repro.scenario.registry, and the registry references only "
                "kernels that exist")
+    scope = "project"
+    version = 2  # re-grounded on the exact class-hierarchy resolver
 
     @staticmethod
     def _switches_alias_refs(tree: ast.Module) -> list[ast.Attribute]:
@@ -475,7 +457,8 @@ class RegistryCoverageRule(Rule):
                         refs.append(node)
         return refs
 
-    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        mods = project.mods
         registry = next(
             (m for m in mods
              if m.in_src and m.package == "scenario"
@@ -484,31 +467,31 @@ class RegistryCoverageRule(Rule):
         )
         if registry is None:
             return  # lint scope does not cover both sides of the contract
-        yield from self._check_word_kernels(mods, registry)
-        switch_classes = _class_index(mods, "switches")
-        if not switch_classes:
-            return
+        yield from self._check_word_kernels(project, registry)
         kernels = {
-            name for name in _slotted_subclasses(switch_classes)
-            if not name.startswith("_")
+            info.name: info
+            for info in _hierarchy_classes(project, "SlottedSwitch", "switches")
+            # the abstract root is the contract, not a registrable kernel
+            if not info.name.startswith("_") and info.name != "SlottedSwitch"
         }
         alias_refs = self._switches_alias_refs(registry.tree)
         referenced = {node.attr for node in alias_refs}
-        for name in sorted(kernels - referenced):
-            mod = _module_of_class(mods, "switches", name)
-            node: ast.AST = switch_classes[name]
+        for name in sorted(set(kernels) - referenced):
+            info = kernels[name]
             yield self._hit(
-                mod if mod is not None else registry, node,
+                info.module, info.node,
                 f"public switch kernel {name} is not reachable from any "
                 f"repro.scenario.registry builder; register it (or prefix "
                 f"the class with '_' if it is internal)",
             )
-        switches_names = set(switch_classes)
-        for mod in mods:
-            if mod.in_src and mod.package == "switches":
-                for node in ast.walk(mod.tree):
-                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        switches_names.add(node.name)
+        switches_names = {
+            info.name for info in project.graph.classes.values()
+            if info.module.in_src and info.module.package == "switches"
+        }
+        switches_names.update(
+            fn.name for fn in project.graph.functions.values()
+            if fn.module.in_src and fn.module.package == "switches"
+        )
         for name in sorted(referenced - switches_names):
             for node in alias_refs:
                 if node.attr == name:
@@ -520,27 +503,28 @@ class RegistryCoverageRule(Rule):
                     break
 
     def _check_word_kernels(
-        self, mods: list[LintModule], registry: LintModule
+        self, project: Project, registry: LintModule
     ) -> Iterator[Violation]:
         """Every word-level kernel (``_WORD_KERNELS``) defined under
         ``repro.core`` must be reachable from the registry — referenced by
         name in ``registry.py`` itself or in a ``make_pipelined_switch``
         factory (the registry builders' front door for the pipelined
         kernel tiers)."""
-        core_classes = _class_index(mods, "core")
+        graph = project.graph
+        core_classes = {
+            info.name: info for info in graph.classes.values()
+            if info.module.in_src and info.module.package == "core"
+        }
         word_kernels = _WORD_KERNELS & set(core_classes)
         if not word_kernels:
             return
         reachable: set[str] = set()
-        trees = [registry.tree]
-        for mod in mods:
-            if not (mod.in_src and mod.package == "core"):
-                continue
-            trees.extend(
-                node for node in ast.walk(mod.tree)
-                if isinstance(node, ast.FunctionDef)
-                and node.name == "make_pipelined_switch"
-            )
+        trees: list[ast.AST] = [registry.tree]
+        trees.extend(
+            fn.node for fn in graph.functions.values()
+            if fn.name == "make_pipelined_switch"
+            and fn.module.in_src and fn.module.package == "core"
+        )
         for tree in trees:
             for node in ast.walk(tree):
                 if isinstance(node, ast.Name):
@@ -548,9 +532,9 @@ class RegistryCoverageRule(Rule):
                 elif isinstance(node, ast.Attribute):
                     reachable.add(node.attr)
         for name in sorted(word_kernels - reachable):
-            mod = _module_of_class(mods, "core", name)
+            info = core_classes[name]
             yield self._hit(
-                mod if mod is not None else registry, core_classes[name],
+                info.module, info.node,
                 f"word-level kernel {name} is not reachable from "
                 f"repro.scenario.registry (directly or through "
                 f"make_pipelined_switch); register an architecture for it",
@@ -565,6 +549,8 @@ class PolicyCoverageRule(Rule):
                "repro.policy.POLICIES (so the scenario registry and CLI can "
                "reach it), and every DROP_* cause constant appears in the "
                "DROP_CAUSES taxonomy map")
+    scope = "project"
+    version = 2  # subclass walk re-grounded on the class-hierarchy resolver
 
     @staticmethod
     def _dict_value_names(tree: ast.Module, target: str) -> list[ast.Name]:
@@ -582,44 +568,38 @@ class PolicyCoverageRule(Rule):
                 return [v for v in value.values if isinstance(v, ast.Name)]
         return []
 
-    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
-        yield from self._check_policies(mods)
-        yield from self._check_drop_causes(mods)
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        yield from self._check_policies(project)
+        yield from self._check_drop_causes(project.mods)
 
-    def _check_policies(self, mods: list[LintModule]) -> Iterator[Violation]:
-        policy_classes = _class_index(mods, "policy")
+    def _check_policies(self, project: Project) -> Iterator[Violation]:
+        mods = project.mods
         admission = next(
             (m for m in mods if m.in_src and m.package == "policy"
              and m.path.name == "admission.py"),
             None,
         )
-        if admission is None or not policy_classes:
+        if admission is None:
             return  # lint scope does not cover the policy package
-        # transitive AdmissionPolicy subclasses, like DRC121's slotted walk
-        bases = {
-            name: {b for b in (_dotted(base) for base in node.bases) if b}
-            for name, node in policy_classes.items()
+        policy_classes = {
+            info.name for info in project.graph.classes.values()
+            if info.module.in_src and info.module.package == "policy"
         }
-        impls: set[str] = set()
-        changed = True
-        while changed:
-            changed = False
-            for name, parents in bases.items():
-                if name in impls:
-                    continue
-                for parent in parents:
-                    leaf = parent.rsplit(".", 1)[-1]
-                    if leaf == "AdmissionPolicy" or leaf in impls:
-                        impls.add(name)
-                        changed = True
-                        break
+        impls = {
+            info.name: info
+            for info in _hierarchy_classes(project, "AdmissionPolicy", "policy")
+        }
+        if not impls:
+            return
         public = {name for name in impls if not name.startswith("_")}
+        # the protocol root itself is the contract, not an implementation
+        public.discard("AdmissionPolicy")
         registered_refs = self._dict_value_names(admission.tree, "POLICIES")
         registered = {node.id for node in registered_refs}
         for name in sorted(public - registered):
-            mod = _module_of_class(mods, "policy", name)
+            info = impls[name]
             yield self._hit(
-                mod if mod is not None else admission, policy_classes[name],
+                info.module, info.node,
                 f"admission policy {name} is not registered in "
                 f"repro.policy.POLICIES; the scenario registry and "
                 f"--policy specs cannot reach it (or prefix the class "
@@ -679,31 +659,32 @@ class ApiShapeRule(Rule):
                "slotted hook trio, and run() on the word-level kernels")
 
     _SLOTTED_HOOKS = ("_admit", "_select_departures", "occupancy")
+    scope = "project"
+    version = 2  # method lookup re-grounded on resolved project MROs
 
-    def check_project(self, mods: list[LintModule]) -> Iterator[Violation]:
-        switch_classes = _class_index(mods, "switches")
-        for name in sorted(_slotted_subclasses(switch_classes)):
-            methods = _mro_methods(switch_classes, name)
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        graph = project.graph
+        for info in _hierarchy_classes(project, "SlottedSwitch", "switches"):
+            if info.name == "SlottedSwitch":
+                continue  # the abstract root declares the hooks
+            methods = graph.methods_of(info.qname)
             missing = [h for h in self._SLOTTED_HOOKS if h not in methods]
             if missing:
-                mod = _module_of_class(mods, "switches", name)
-                if mod is None:
-                    continue
                 yield self._hit(
-                    mod, switch_classes[name],
-                    f"slotted switch {name} does not implement "
+                    info.module, info.node,
+                    f"slotted switch {info.name} does not implement "
                     f"{', '.join(missing)}; the harness drives every "
                     f"architecture through these hooks",
                 )
-        core_classes = _class_index(mods, "core")
+        core_classes = {
+            info.name: info for info in graph.classes.values()
+            if info.module.in_src and info.module.package == "core"
+        }
         for name in sorted(_WORD_KERNELS & set(core_classes)):
-            methods = _mro_methods(core_classes, name)
-            if "run" not in methods:
-                mod = _module_of_class(mods, "core", name)
-                if mod is None:
-                    continue
+            info = core_classes[name]
+            if "run" not in graph.methods_of(info.qname):
                 yield self._hit(
-                    mod, core_classes[name],
+                    info.module, info.node,
                     f"word-level kernel {name} does not define run(); the "
                     f"harness and scenario executors require it",
                 )

@@ -1,0 +1,10 @@
+class MiniKernel:
+    def __init__(self, n):
+        self.cycle = 0
+        self.backlog = []
+        self.limit = n
+
+    def run(self, cycles):
+        for _ in range(cycles):
+            self.cycle = self.cycle + 1
+            self.backlog.append(self.cycle)

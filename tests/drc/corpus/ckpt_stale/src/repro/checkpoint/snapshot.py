@@ -1,0 +1,24 @@
+from repro.core.minikernel import MiniKernel
+
+
+def _kernel_of(switch):
+    if type(switch) is MiniKernel:
+        return "mini"
+    raise TypeError("unsupported kernel")
+
+
+def _snap_mini(sw):
+    return {
+        "cycle": sw.cycle,
+        "backlog": list(sw.backlog),
+        "ghost": sw.ghost_window,
+    }
+
+
+def snapshot_switch(switch):
+    kernel = _kernel_of(switch)
+    if kernel == "mini":
+        body = _snap_mini(switch)
+    else:
+        body = None
+    return {"kernel": kernel, "body": body}

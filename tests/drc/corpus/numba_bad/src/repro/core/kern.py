@@ -1,0 +1,22 @@
+import numpy as np
+
+try:
+    from numba import njit
+except ImportError:
+    def njit(func):
+        return func
+
+
+def helper(x):
+    return x + 1
+
+
+@njit
+def kernel(a, n):
+    total = 0
+    for i in range(n):
+        total = total + helper(int(a[i]))
+    shape = {}
+    label = "done"
+    extra = np.unique(a)
+    return total + len(shape) + len(label) + len(extra)

@@ -1,0 +1,13 @@
+import time
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def clock_seeded():
+    return make_rng(int(time.time()))

@@ -1,0 +1,14 @@
+from repro.sim.rng import make_rng, spawn
+from repro.switches.models import AlphaSwitch
+
+
+def build():
+    rng = make_rng(7)
+    first = AlphaSwitch(rng)
+    second = AlphaSwitch(rng)
+    return first, second
+
+
+def build_clean():
+    rng = make_rng(7)
+    return [AlphaSwitch(g) for g in spawn(rng, 4)]

@@ -1,0 +1,11 @@
+import numpy as np
+
+
+def make_rng(seed):
+    if hasattr(seed, "integers"):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng, n):
+    return [np.random.default_rng(int(rng.integers(2**32))) for _ in range(n)]

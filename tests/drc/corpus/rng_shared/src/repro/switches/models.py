@@ -1,0 +1,14 @@
+class SlottedSwitch:
+    def _admit(self):
+        pass
+
+    def _select_departures(self):
+        pass
+
+    def occupancy(self):
+        pass
+
+
+class AlphaSwitch(SlottedSwitch):
+    def __init__(self, rng):
+        self.rng = rng

@@ -1,0 +1,10 @@
+from repro.sim.rng import make_rng
+
+
+def launch(pool):
+    rng = make_rng(3)
+
+    def task():
+        return int(rng.integers(10))
+
+    return pool.submit(task)

@@ -1,0 +1,76 @@
+"""Baseline mode (``repro lint --diff <rev>``): pre-existing findings
+are accepted, only the delta fails."""
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.drc import baseline_result, new_findings, run_lint
+
+
+def _git(root: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=root, check=True, capture_output=True)
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    old = (
+        "def f(ports):\n"
+        "    for p in set(ports):\n"
+        "        yield p\n"
+    )
+    p = tmp_path / "src/repro/core/m.py"
+    p.parent.mkdir(parents=True)
+    p.write_text(old)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def test_diff_reports_only_new_findings(repo):
+    p = repo / "src/repro/core/m.py"
+    p.write_text(p.read_text() + (
+        "def g(links):\n"
+        "    return [x for x in frozenset(links)]\n"
+    ))
+    current = run_lint(["src"], root=repo)
+    base = baseline_result("HEAD", repo, ["src"])
+    fresh = new_findings(current, base)
+    assert len(current.all_findings()) == 2
+    assert len(fresh) == 1
+    assert fresh[0].code == "DRC104" and fresh[0].line == 5
+
+
+def test_diff_is_empty_when_tree_unchanged(repo):
+    current = run_lint(["src"], root=repo)
+    base = baseline_result("HEAD", repo, ["src"])
+    assert new_findings(current, base) == []
+    assert len(current.all_findings()) == 1  # the finding exists, accepted
+
+
+def test_reflow_does_not_resurrect_baselined_findings(repo):
+    # same finding, different line: the multiset key excludes line
+    # numbers precisely so moving code around stays quiet
+    p = repo / "src/repro/core/m.py"
+    p.write_text("CYCLES = 9\n\n\n" + p.read_text())
+    current = run_lint(["src"], root=repo)
+    base = baseline_result("HEAD", repo, ["src"])
+    assert new_findings(current, base) == []
+
+
+def test_second_instance_of_baselined_finding_is_new(repo):
+    p = repo / "src/repro/core/m.py"
+    body = p.read_text()
+    p.write_text(body + body.replace("def f", "def f2"))
+    current = run_lint(["src"], root=repo)
+    base = baseline_result("HEAD", repo, ["src"])
+    assert len(new_findings(current, base)) == 1
+
+
+def test_unknown_revision_raises(repo):
+    with pytest.raises(RuntimeError, match="git archive"):
+        baseline_result("no-such-rev", repo, ["src"])

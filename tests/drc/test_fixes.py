@@ -1,0 +1,101 @@
+"""``repro lint --fix``: mechanical repairs that must be idempotent."""
+
+from pathlib import Path
+
+from repro.drc import FIXABLE_CODES, apply_fixes, fix_source, run_lint
+
+
+def test_fixable_codes_catalog():
+    assert FIXABLE_CODES == {"DRC101", "DRC104"}
+
+
+def test_drc104_wraps_set_iteration_in_sorted():
+    src = (
+        "def f(ports):\n"
+        "    for p in set(ports):\n"
+        "        yield p\n"
+    )
+    fixed, n = fix_source("src/repro/core/m.py", src)
+    assert n == 1
+    assert "for p in sorted(set(ports)):" in fixed
+
+
+def test_drc104_nested_sites_compose():
+    src = (
+        "def f(a, b):\n"
+        "    return [x for x in {y for y in set(b)}]\n"
+    )
+    fixed, n = fix_source("src/repro/core/m.py", src)
+    # outer comprehension iterates a set comprehension whose generator
+    # iterates a set() call: both sites are wrapped, innermost intact
+    assert n == 2
+    assert "sorted({y for y in sorted(set(b))})" in fixed
+
+
+def test_drc101_trims_wall_clock_from_import():
+    src = "from time import perf_counter, sleep\n"
+    fixed, n = fix_source("src/repro/core/m.py", src)
+    assert n == 1
+    assert fixed == "from time import sleep\n"
+
+
+def test_drc101_deletes_import_when_nothing_survives():
+    src = (
+        "from time import perf_counter\n"
+        "CYCLES = 100\n"
+    )
+    fixed, n = fix_source("src/repro/core/m.py", src)
+    assert n == 1
+    assert fixed == "CYCLES = 100\n"
+
+
+def test_suppressed_findings_are_left_alone():
+    src = (
+        "def f(ports):\n"
+        "    for p in set(ports):  # drc: disable=DRC104\n"
+        "        yield p\n"
+    )
+    fixed, n = fix_source("src/repro/core/m.py", src)
+    assert n == 0
+    assert fixed == src
+
+
+def test_outside_deterministic_packages_untouched():
+    src = "def f(s):\n    return [x for x in set(s)]\n"
+    fixed, n = fix_source("src/repro/tools/m.py", src)
+    assert n == 0
+    assert fixed == src
+
+
+def test_fix_twice_is_identity(tmp_path):
+    files = {
+        "src/repro/core/loops.py": (
+            "from time import perf_counter, sleep\n"
+            "def f(ports, links):\n"
+            "    for p in set(ports) :\n"
+            "        yield p\n"
+            "    return {x for x in frozenset(links)}\n"
+        ),
+        "src/repro/switches/sel.py": (
+            "def pick(active):\n"
+            "    return [a for a in {0, 1, 2}]\n"
+        ),
+    }
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+
+    first = apply_fixes(["src"], root=tmp_path)
+    assert set(first) == {"src/repro/core/loops.py", "src/repro/switches/sel.py"}
+    after_first = {rel: (tmp_path / rel).read_text() for rel in files}
+
+    second = apply_fixes(["src"], root=tmp_path)
+    assert second == {}, "second --fix pass must make zero edits"
+    after_second = {rel: (tmp_path / rel).read_text() for rel in files}
+    assert after_second == after_first
+
+    # and the fixed tree lints clean of the fixable codes
+    result = run_lint(["src"], root=tmp_path)
+    assert [v for v in result.all_findings()
+            if v.code in FIXABLE_CODES] == []

@@ -1,0 +1,177 @@
+"""Numba-compat rules.
+
+The whole point of DRC161/162 is that they run *without* numba
+installed — the static half of this file asserts the findings on
+synthetic kernels.  The final test is the ground-truth leg: when numba
+IS available (the CI with-numba runner), the corpus kernel that DRC
+flags must genuinely be refused by nopython compilation, and the same
+kernel with every flagged line removed must compile.
+"""
+
+import importlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.drc import run_lint
+
+CORPUS = Path(__file__).resolve().parent / "corpus" / "numba_bad"
+
+
+def _lint(tmp_path: Path, source: str):
+    p = tmp_path / "src/repro/core/kern.py"
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(source)
+    return run_lint(["src"], root=tmp_path)
+
+
+def _hits(result, code):
+    return [v for v in result.all_findings() if v.code == code]
+
+
+def test_clean_kernel_has_no_findings(tmp_path):
+    result = _lint(tmp_path, (
+        "import numpy as np\n"
+        "def njit(func):\n"
+        "    return func\n"
+        "@njit\n"
+        "def kernel(a, n):\n"
+        "    out = np.zeros(n, dtype=np.int64)\n"
+        "    for i in range(n):\n"
+        "        out[i] = int(a[i]) + max(i, 2)\n"
+        "    return out\n"
+    ))
+    assert _hits(result, "DRC161") == [] and _hits(result, "DRC162") == []
+
+
+def test_drc161_flags_denied_constructs(tmp_path):
+    result = _lint(tmp_path, (
+        "def njit(func):\n"
+        "    return func\n"
+        "@njit\n"
+        "def kernel(n):\n"
+        "    table = {}\n"
+        "    try:\n"
+        "        n = n + 1\n"
+        "    except ValueError:\n"
+        "        pass\n"
+        "    return n\n"
+    ))
+    lines = sorted(v.line for v in _hits(result, "DRC161"))
+    assert lines == [5, 6]
+
+
+def test_drc161_docstring_allowed_other_strings_not(tmp_path):
+    result = _lint(tmp_path, (
+        "def njit(func):\n"
+        "    return func\n"
+        "@njit\n"
+        "def kernel(n):\n"
+        "    \"\"\"docstring is fine\"\"\"\n"
+        "    tag = 'oops'\n"
+        "    return n\n"
+    ))
+    lines = [v.line for v in _hits(result, "DRC161")]
+    assert lines == [6]
+
+
+def test_drc162_flags_call_to_nonjit_project_function(tmp_path):
+    result = _lint(tmp_path, (
+        "def njit(func):\n"
+        "    return func\n"
+        "def helper(x):\n"
+        "    return x + 1\n"
+        "@njit\n"
+        "def kernel(n):\n"
+        "    return helper(n)\n"
+    ))
+    hits = _hits(result, "DRC162")
+    assert [v.line for v in hits] == [7]
+    assert "helper" in hits[0].message
+
+
+def test_jit_callees_are_checked_transitively(tmp_path):
+    result = _lint(tmp_path, (
+        "def njit(func):\n"
+        "    return func\n"
+        "@njit\n"
+        "def inner(n):\n"
+        "    bag = set()\n"
+        "    return n\n"
+        "@njit\n"
+        "def kernel(n):\n"
+        "    return inner(n)\n"
+    ))
+    # calling a jit callee is fine (no DRC162) but the callee's body is
+    # swept too
+    assert _hits(result, "DRC162") == []
+    assert [v.line for v in _hits(result, "DRC161")] == [5]
+
+
+def test_unsupported_numpy_function_flagged(tmp_path):
+    result = _lint(tmp_path, (
+        "import numpy as np\n"
+        "def njit(func):\n"
+        "    return func\n"
+        "@njit\n"
+        "def kernel(a):\n"
+        "    return np.unique(a)\n"
+    ))
+    hits = _hits(result, "DRC161")
+    assert [v.line for v in hits] == [6]
+    assert "np.unique" in hits[0].message or "unique" in hits[0].message
+
+
+def test_corpus_kernel_static_findings():
+    import json
+    result = run_lint(["src"], root=CORPUS)
+    got = sorted((v.code, v.line) for v in result.all_findings()
+                 if v.code in ("DRC161", "DRC162"))
+    expected = sorted(
+        (e["code"], e["line"])
+        for e in json.loads((CORPUS / "expected.json").read_text()))
+    assert got == expected
+
+
+# -- ground truth: only runs where numba is actually installed --------------
+
+_HAS_NUMBA = importlib.util.find_spec("numba") is not None
+ground_truth = pytest.mark.skipif(
+    not _HAS_NUMBA, reason="numba not installed; CI with-numba leg only")
+
+
+@ground_truth
+def test_flagged_corpus_kernel_is_refused_by_nopython():
+    import numba
+    source = (CORPUS / "src/repro/core/kern.py").read_text()
+    ns: dict = {}
+    exec(compile(source, "kern.py", "exec"), ns)
+    a = np.arange(8, dtype=np.int64)
+    with pytest.raises(numba.core.errors.TypingError):
+        numba.njit(ns["kernel"].py_func
+                   if hasattr(ns["kernel"], "py_func") else ns["kernel"],
+                   nopython=True)(a, 8)
+
+
+@ground_truth
+def test_cleaned_corpus_kernel_compiles_under_nopython():
+    # strip exactly the lines DRC flagged (and references to them);
+    # what remains must be accepted by nopython compilation
+    cleaned = (
+        "import numpy as np\n"
+        "from numba import njit\n"
+        "@njit\n"
+        "def helper(x):\n"
+        "    return x + 1\n"
+        "@njit\n"
+        "def kernel(a, n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        total = total + helper(int(a[i]))\n"
+        "    return total\n"
+    )
+    ns: dict = {}
+    exec(compile(cleaned, "kern_clean.py", "exec"), ns)
+    a = np.arange(8, dtype=np.int64)
+    assert ns["kernel"](a, 8) == int((a + 1).sum())
